@@ -1,0 +1,120 @@
+"""A1 / A2 — Ablations of DIODE's two enforcement design choices.
+
+* A1 (enforcement order): the paper enforces the *first* flipped branch in
+  execution order.  This ablation compares that choice against enforcing the
+  last flipped branch and a random flipped branch.
+* A2 (relevance filtering): the paper discards branches that share no input
+  variable with the target constraint before enforcement.  This ablation
+  measures the cost of keeping every branch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import ErrorDetector
+from repro.core.enforcement import EnforcementConfig, GoalDirectedEnforcer
+from repro.core.inputs import InputGenerator
+from repro.smt.solver import PortfolioSolver
+
+from benchmarks.conftest import observation_for, print_table
+
+GUARDED_SITES = [
+    ("dillo", "png.c@203"),
+    ("dillo", "fltkimagebuf.cc@39"),
+    ("vlc", "dec.c@277"),
+    ("vlc", "messages.c@355"),
+]
+
+
+def _run(app, observation, config):
+    enforcer = GoalDirectedEnforcer(
+        PortfolioSolver(),
+        InputGenerator(app.seed_input, app.format_spec),
+        ErrorDetector(app.program, app.seed_input),
+        config,
+    )
+    return enforcer.run(observation)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_enforcement_order(benchmark, applications):
+    """A1: first-flipped-branch order vs last/random flipped branch."""
+    apps = {app.name: app for app in applications}
+    lookup = {
+        "dillo": apps["Dillo 2.1"],
+        "vlc": apps["VLC 0.8.6h"],
+    }
+
+    def run():
+        rows = []
+        for app_key, tag in GUARDED_SITES:
+            app = lookup[app_key]
+            observation = observation_for(app, tag)
+            per_mode = {}
+            for mode in ("first", "last", "random"):
+                result = _run(app, observation, EnforcementConfig(flip_selection=mode))
+                per_mode[mode] = result
+            rows.append((tag, per_mode))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for tag, per_mode in rows:
+        table.append(
+            (
+                tag,
+                *(
+                    f"{per_mode[mode].outcome.value.split('_')[0]}"
+                    f"/{per_mode[mode].enforced_count}"
+                    for mode in ("first", "last", "random")
+                ),
+            )
+        )
+        # The paper's choice must succeed on every guarded site.
+        assert per_mode["first"].found_overflow, tag
+    print_table(
+        "Ablation A1: flipped-branch selection (outcome/enforced count)",
+        ["Target", "first (paper)", "last", "random"],
+        table,
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_relevance_filtering(benchmark, applications):
+    """A2: enforcement with and without the relevant-branch filter."""
+    apps = {app.name: app for app in applications}
+    lookup = {"dillo": apps["Dillo 2.1"], "vlc": apps["VLC 0.8.6h"]}
+
+    def run():
+        rows = []
+        for app_key, tag in GUARDED_SITES:
+            app = lookup[app_key]
+            observation = observation_for(app, tag)
+            filtered = _run(app, observation, EnforcementConfig(filter_relevant=True))
+            unfiltered = _run(app, observation, EnforcementConfig(filter_relevant=False))
+            rows.append((tag, filtered, unfiltered))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for tag, filtered, unfiltered in rows:
+        table.append(
+            (
+                tag,
+                filtered.relevant_branch_count,
+                unfiltered.relevant_branch_count,
+                f"{filtered.outcome.value}/{filtered.enforced_count}",
+                f"{unfiltered.outcome.value}/{unfiltered.enforced_count}",
+            )
+        )
+        assert filtered.found_overflow, tag
+        # The filter never considers more branches than the unfiltered run.
+        assert filtered.relevant_branch_count <= unfiltered.relevant_branch_count
+    print_table(
+        "Ablation A2: relevance filtering (candidate branch pool and outcome)",
+        ["Target", "Relevant pool", "Unfiltered pool", "Filtered outcome", "Unfiltered outcome"],
+        table,
+    )

@@ -1,0 +1,69 @@
+"""E5 — Section 5.4: blocking checks.
+
+For every exposed site, check whether an input can both trigger the overflow
+and follow the seed input's entire path through the relevant conditional
+branches.  The paper reports that blocking checks make this impossible for
+all but two sites; in this reproduction the blocking loops modelled after the
+paper's description (Dillo's png_memset row loop, VLC's per-sample
+interleave loop) make it impossible for the Dillo and VLC guarded sites,
+while the check-free sites remain satisfiable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import FullPathEnforcement
+
+from benchmarks.conftest import exposed_observations, print_table
+
+# Sites where blocking checks must rule out full-seed-path enforcement.
+EXPECTED_BLOCKED = {
+    "png.c@203",
+    "fltkimagebuf.cc@39",
+    "Image.cxx@741",
+    "dec.c@277",
+}
+
+
+@pytest.mark.benchmark(group="section-5.4")
+def test_blocking_checks_full_path_enforcement(benchmark, applications):
+    """Satisfiability of target-constraint ∧ full relevant seed path, per site."""
+
+    def run():
+        rows = {}
+        for app in applications:
+            strategy = FullPathEnforcement(app)
+            for tag, observation in exposed_observations(app):
+                rows[tag] = strategy.run(observation)
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    blocked = 0
+    for tag, result in results.items():
+        state = (
+            "unsatisfiable"
+            if result.satisfiable is False
+            else ("unknown" if result.satisfiable is None else "satisfiable")
+        )
+        if result.satisfiable is not True:
+            blocked += 1
+        table.append(
+            (
+                tag,
+                state,
+                result.details.get("relevant_branches", "-"),
+                result.ratio() if result.attempts else "-",
+            )
+        )
+        if tag in EXPECTED_BLOCKED:
+            assert result.satisfiable is not True, tag
+            assert result.successes == 0, tag
+    print_table(
+        "Section 5.4: full-seed-path enforcement per exposed site",
+        ["Target", "Full-path constraint", "Relevant branches", "Triggers"],
+        table,
+    )
+    assert blocked >= len(EXPECTED_BLOCKED)

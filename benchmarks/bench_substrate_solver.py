@@ -1,0 +1,78 @@
+"""Substrate micro-benchmarks: the SMT portfolio and the concolic stage.
+
+These are not paper artifacts; they document the cost of the two most
+heavily exercised substrates (solver queries and instrumented executions) so
+that regressions in either show up in the benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.concolic import ConcolicInterpreter
+from repro.exec.taint import TaintInterpreter
+from repro.smt import builder as b
+from repro.smt.solver import PortfolioSolver
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_solver_overflow_query_sat(benchmark):
+    """A Dillo-shaped satisfiable target-constraint query."""
+    w = b.bv_var("w", 32)
+    h = b.bv_var("h", 32)
+    wide = b.mul(b.zext(w, 64), b.zext(h, 64))
+    constraints = [
+        b.ugt(wide, b.bv_const(0xFFFFFFFF, 64)),
+        b.ult(w, 1_000_000),
+        b.ult(h, 1_000_000),
+    ]
+
+    def run():
+        return PortfolioSolver().check(constraints)
+
+    result = benchmark(run)
+    assert result.is_sat
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_solver_overflow_query_unsat(benchmark):
+    """A blocking-check-shaped unsatisfiable query (interval proof)."""
+    w = b.bv_var("w", 32)
+    h = b.bv_var("h", 32)
+    wide = b.mul(b.zext(w, 64), b.zext(h, 64))
+    constraints = [
+        b.ugt(wide, b.bv_const(0xFFFFFFFF, 64)),
+        b.ult(w, 1154),
+        b.ult(h, 1_000_000),
+    ]
+
+    def run():
+        return PortfolioSolver().check(constraints)
+
+    result = benchmark(run)
+    assert result.is_unsat
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_taint_stage_on_dillo_seed(benchmark, dillo_app):
+    """Cost of the target-site identification stage on the Dillo model."""
+
+    def run():
+        return TaintInterpreter(dillo_app.program).run_taint(dillo_app.seed_input)
+
+    report = benchmark(run)
+    assert len(report.target_sites()) == 12
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_concolic_stage_on_dillo_seed(benchmark, dillo_app):
+    """Cost of the symbolic-recording stage on the Dillo model."""
+    relevant = set(range(16, 26))
+
+    def run():
+        return ConcolicInterpreter(
+            dillo_app.program, relevant_bytes=relevant
+        ).run_concolic(dillo_app.seed_input)
+
+    report = benchmark(run)
+    assert report.allocations

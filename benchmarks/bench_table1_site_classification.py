@@ -1,0 +1,68 @@
+"""E1 — Table 1: target site classification.
+
+Regenerates the paper's Table 1: for each benchmark application, the number
+of exercised target sites and how many of them DIODE exposes, how many have
+an unsatisfiable target constraint, and how many are protected by sanity
+checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diode
+
+from benchmarks.conftest import print_table
+
+# Paper Table 1: (total, exposed, unsatisfiable, prevented) per application.
+PAPER_TABLE1 = {
+    "Dillo 2.1": (12, 3, 1, 8),
+    "VLC 0.8.6h": (4, 4, 0, 0),
+    "SwfPlay 0.5.5": (8, 3, 5, 0),
+    "CWebP 0.3.1": (7, 1, 6, 0),
+    "ImageMagick 6.5.2": (9, 3, 5, 1),
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_site_classification(benchmark, applications):
+    """Run the full DIODE pipeline on all five applications (Table 1)."""
+
+    def run():
+        engine = Diode()
+        return {app.name: engine.analyze(app) for app in applications}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        paper = PAPER_TABLE1[name]
+        measured = (
+            result.total_target_sites,
+            result.exposed_count,
+            result.unsatisfiable_count,
+            result.sanity_prevented_count,
+        )
+        rows.append(
+            (
+                name,
+                f"{measured[0]} (paper {paper[0]})",
+                f"{measured[1]} (paper {paper[1]})",
+                f"{measured[2]} (paper {paper[2]})",
+                f"{measured[3]} (paper {paper[3]})",
+            )
+        )
+        assert measured == paper, f"Table 1 row mismatch for {name}"
+    print_table(
+        "Table 1: Target Site Classification (measured vs paper)",
+        ["Application", "Total Sites", "DIODE Exposes", "Unsatisfiable", "Sanity Prevented"],
+        rows,
+    )
+
+    totals = (
+        sum(r.total_target_sites for r in results.values()),
+        sum(r.exposed_count for r in results.values()),
+        sum(r.unsatisfiable_count for r in results.values()),
+        sum(r.sanity_prevented_count for r in results.values()),
+    )
+    assert totals == (40, 14, 17, 9)

@@ -1,0 +1,83 @@
+"""E2 — Table 2: per-overflow evaluation summary.
+
+Regenerates the core columns of the paper's Table 2: for each of the 14
+overflows DIODE exposes — target site, CVE status, observed error type, and
+the number of enforced conditional branches out of the total relevant
+branches on the seed path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diode
+
+from benchmarks.conftest import print_table
+
+# Paper Table 2: target -> (cve, enforced branches).
+PAPER_TABLE2 = {
+    "png.c@203": ("CVE-2009-2294", 4),
+    "fltkimagebuf.cc@39": ("New", 5),
+    "Image.cxx@741": ("New", 4),
+    "messages.c@355": ("New", 2),
+    "wav.c@147": ("CVE-2008-2430", 0),
+    "dec.c@277": ("New", 5),
+    "block.c@54": ("New", 0),
+    "jpeg_rgb_decoder.c@253": ("New", 0),
+    "jpeg_rgb_decoder.c@257": ("New", 0),
+    "jpeg.c@192": ("New", 0),
+    "jpegdec.c@248": ("New", 0),
+    "xwindow.c@5619": ("CVE-2009-1882", 0),
+    "cache.c@803": ("New", 0),
+    "display.c@4393": ("New", 0),
+}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_overflow_summary(benchmark, applications):
+    """Discover all 14 overflows and report the Table 2 rows."""
+
+    def run():
+        engine = Diode()
+        return {app.name: engine.analyze(app) for app in applications}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    reports = {}
+    for name, result in results.items():
+        for report in result.bug_reports():
+            reports[report.target] = (name, report)
+
+    assert set(reports) == set(PAPER_TABLE2), "the 14 exposed sites must match"
+
+    for target, (paper_cve, paper_enforced) in PAPER_TABLE2.items():
+        app_name, report = reports[target]
+        rows.append(
+            (
+                app_name,
+                target,
+                f"{report.cve} (paper {paper_cve})",
+                report.error_type,
+                f"{report.enforced_ratio()} (paper {paper_enforced}/...)",
+                f"{report.discovery_seconds:.2f}s",
+            )
+        )
+        assert report.cve == paper_cve
+        if paper_enforced == 0:
+            assert report.enforced_branches == 0, target
+        else:
+            # Solver choices legitimately shift the count by a branch or two;
+            # the shape claim is "a small number (2-5) of enforced branches".
+            assert 1 <= report.enforced_branches <= 6, target
+        assert report.enforced_branches <= report.relevant_branches or report.relevant_branches == 0
+
+    print_table(
+        "Table 2: Evaluation Summary (measured vs paper)",
+        ["Application", "Target", "CVE", "Error Type", "Enforced", "Discovery"],
+        rows,
+    )
+
+    new_count = sum(1 for _, (cve, _e) in PAPER_TABLE2.items() if cve == "New")
+    measured_new = sum(1 for _, report in reports.values() if report.cve == "New")
+    assert measured_new == new_count == 11

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's evaluation artifacts (Table 1,
+Table 2 and its success-rate columns, the Section 5.4 blocking-check study,
+the Section 2 walkthrough) and prints the reproduced rows next to the values
+the paper reports.  Heavy pipelines are run exactly once per benchmark via
+``benchmark.pedantic(..., rounds=1, iterations=1)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import all_applications, get_application
+from repro.core import Diode
+from repro.core.fieldmap import FieldMapper
+from repro.core.sites import identify_target_sites
+from repro.core.target import extract_target_observations
+
+
+@pytest.fixture(scope="session")
+def applications():
+    return all_applications()
+
+
+@pytest.fixture(scope="session")
+def analysis_results(applications):
+    engine = Diode()
+    return {app.name: engine.analyze(app) for app in applications}
+
+
+@pytest.fixture(scope="session")
+def dillo_app():
+    return get_application("dillo")
+
+
+def observation_for(app, tag):
+    """Extract the ⟨target expression, seed path⟩ observation for one site."""
+    sites = identify_target_sites(app.program, app.seed_input)
+    site = next(s for s in sites if s.site_tag == tag)
+    mapper = FieldMapper(app.format_spec)
+    return extract_target_observations(
+        app.program, app.seed_input, site, field_mapper=mapper
+    )[0]
+
+
+def exposed_observations(app):
+    """Observations for every site the paper reports as exposed."""
+    exposed_tags = [e.tag for e in app.expectations if e.classification == "exposed"]
+    return [(tag, observation_for(app, tag)) for tag in exposed_tags]
+
+
+def print_table(title, header, rows):
+    """Print a small aligned table to the benchmark log."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The paper's Section 2 walkthrough: the Dillo PNG image-data overflow.
+
+This example follows the pipeline step by step on the ``png.c@203`` target
+site (CVE-2009-2294) instead of calling the all-in-one engine:
+
+1. taint analysis finds the allocation sites influenced by the PNG fields;
+2. the concolic stage extracts the symbolic target expression
+   (``rowbytes * height``) and the seed path's branch conditions;
+3. the target constraint (``overflow(B)``) is built and solved;
+4. goal-directed conditional branch enforcement walks through the libpng /
+   Dillo sanity checks — including the buggy ``abs(width*height)`` check —
+   until a generated PNG triggers the overflow;
+5. the generated PNG is replayed to show the resulting invalid reads.
+
+Run with ``python examples/dillo_png_overflow.py``.
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_application
+from repro.core.branches import (
+    compress_branches,
+    extract_branch_constraints,
+    relevant_branches,
+)
+from repro.core.detection import ErrorDetector
+from repro.core.enforcement import GoalDirectedEnforcer
+from repro.core.fieldmap import FieldMapper
+from repro.core.inputs import InputGenerator
+from repro.core.overflow import overflow_constraint
+from repro.core.sites import identify_target_sites
+from repro.core.target import extract_target_observations
+from repro.exec.concrete import ConcreteInterpreter
+from repro.formats.png import PngFormat
+from repro.smt.solver import PortfolioSolver
+
+
+def main() -> int:
+    dillo = get_application("dillo")
+    mapper = FieldMapper(dillo.format_spec)
+
+    print("Step 1 — target site identification (taint analysis)")
+    sites = identify_target_sites(dillo.program, dillo.seed_input)
+    site = next(s for s in sites if s.site_tag == "png.c@203")
+    grouped = mapper.describe_relevant_bytes(site.relevant_bytes)
+    print(f"  {len(sites)} input-influenced allocation sites; targeting {site.name}")
+    print(f"  seed allocation size: {site.seed_size} bytes")
+    print(f"  relevant input fields: {', '.join(sorted(grouped))}\n")
+
+    print("Step 2 — target expression extraction (concolic stage)")
+    observation = extract_target_observations(
+        dillo.program, dillo.seed_input, site, field_mapper=mapper
+    )[0]
+    print(f"  target expression: {observation.size_expression.pretty()}\n")
+
+    print("Step 3 — target constraint")
+    beta = overflow_constraint(observation.size_expression)
+    compressed = compress_branches(extract_branch_constraints(observation.seed_path))
+    relevant = relevant_branches(compressed, beta)
+    print(f"  overflow(B) built; {len(relevant)} relevant conditional branches "
+          f"on the seed path (of {len(compressed)} compressed branches)\n")
+
+    print("Step 4 — goal-directed conditional branch enforcement")
+    enforcer = GoalDirectedEnforcer(
+        PortfolioSolver(),
+        InputGenerator(dillo.seed_input, dillo.format_spec),
+        ErrorDetector(dillo.program, dillo.seed_input),
+    )
+    result = enforcer.run(observation)
+    for step in result.steps:
+        model = step.candidate_model or {}
+        width = model.get("/header/width", "-")
+        height = model.get("/header/height", "-")
+        depth = model.get("/header/bit_depth", "-")
+        status = "TRIGGERS OVERFLOW" if step.triggered else "rejected by a sanity check"
+        enforced = f"after enforcing branch {step.enforced_label}" if step.enforced_label is not None else "target constraint only"
+        print(f"  iteration {step.iteration}: {enforced}: "
+              f"width={width} height={height} bit_depth={depth} -> {status}")
+    print(f"  enforced {result.enforced_count} of {result.relevant_branch_count} "
+          f"relevant conditional branches\n")
+
+    print("Step 5 — error detection on the generated PNG")
+    dissected = PngFormat.dissect(result.triggering_input)
+    print(f"  generated PNG: width={dissected.value_of('/header/width')} "
+          f"height={dissected.value_of('/header/height')} "
+          f"bit_depth={dissected.value_of('/header/bit_depth')} "
+          f"(CRCs recomputed, signature intact)")
+    replay = ConcreteInterpreter(dillo.program).run(result.triggering_input)
+    print(f"  replay outcome: {replay.outcome.value}, "
+          f"{len(replay.memory_errors)} invalid memory accesses")
+    if replay.memory_errors:
+        first = replay.memory_errors[0]
+        print(f"  first invalid access: {first.kind.value} at offset {first.offset} "
+              f"of a {first.block_size}-byte block allocated at {first.allocation_site_tag}")
+    print(f"  bug report error type: {result.evaluation.error_type()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: run DIODE on one benchmark application model.
+
+Usage::
+
+    python examples/quickstart.py [dillo|vlc|swfplay|cwebp|imagemagick]
+
+The script runs the full pipeline — taint-based target-site identification,
+concolic target/branch extraction, target-constraint solving and
+goal-directed conditional branch enforcement — and prints, for every target
+site, its classification and (for exposed sites) the overflow-triggering
+field values DIODE generated.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps import get_application
+from repro.core import Diode
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dillo"
+    application = get_application(name)
+    print(f"Analyzing {application.name}: {application.description}")
+    print(f"Seed input: {len(application.seed_input)} bytes "
+          f"({application.format_spec.name} format)\n")
+
+    result = Diode().analyze(application)
+
+    print(f"{'Target site':32s} {'Classification':36s} {'Enforced':>9s}  Details")
+    print("-" * 110)
+    for site_result in result.site_results:
+        report = site_result.bug_report
+        if report is not None:
+            details = (
+                f"error={report.error_type}  fields="
+                + ", ".join(
+                    f"{key}={value}" for key, value in report.triggering_field_values.items()
+                )
+            )
+            enforced = report.enforced_ratio()
+        else:
+            details = ""
+            enforced = "-"
+        print(
+            f"{site_result.site.name:32s} {site_result.classification.value:36s} "
+            f"{enforced:>9s}  {details}"
+        )
+
+    row = result.table1_row()
+    print(
+        f"\nTable-1 row for {application.name}: "
+        f"{row['total_target_sites']} target sites, "
+        f"{row['diode_exposes_overflow']} exposed, "
+        f"{row['target_constraint_unsatisfiable']} unsatisfiable, "
+        f"{row['sanity_checks_prevent_overflow']} protected by sanity checks."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

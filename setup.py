@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build a wheel.  This ``setup.py``
+allows the legacy editable path (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) to work offline.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

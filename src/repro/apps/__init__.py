@@ -1,0 +1,32 @@
+"""Benchmark application models.
+
+Each module models the input-parsing and allocation structure of one of the
+paper's five benchmark applications — Dillo 2.1, VLC 0.8.6h, SwfPlay 0.5.5,
+CWebP 0.3.1 and ImageMagick 6.5.2 — in the core-language DSL, together with
+its input format and a seed input the model processes cleanly.  The models
+reproduce the paper's target-site structure: the same number of exercised
+allocation sites per application, the same split between overflow-exposed /
+target-constraint-unsatisfiable / sanity-check-protected sites, and the same
+kind of sanity and blocking checks along the path to each exposed site.
+"""
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.apps.registry import all_applications, get_application, application_names
+from repro.apps.dillo import build_dillo_application
+from repro.apps.vlc import build_vlc_application
+from repro.apps.swfplay import build_swfplay_application
+from repro.apps.cwebp import build_cwebp_application
+from repro.apps.imagemagick import build_imagemagick_application
+
+__all__ = [
+    "Application",
+    "SiteExpectation",
+    "all_applications",
+    "get_application",
+    "application_names",
+    "build_dillo_application",
+    "build_vlc_application",
+    "build_swfplay_application",
+    "build_cwebp_application",
+    "build_imagemagick_application",
+]

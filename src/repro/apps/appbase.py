@@ -1,0 +1,85 @@
+"""The Application bundle: program model + input format + seed + expectations.
+
+An :class:`Application` is the unit the DIODE engine analyses.  Besides the
+program and seed it carries *expectations*: the paper's ground truth for each
+target site (classification, enforced-branch range, CVE number), which the
+test suite and the benchmark harnesses check the reproduction against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.formats.spec import FormatSpec
+from repro.lang.program import Program
+
+
+@dataclass(frozen=True)
+class SiteExpectation:
+    """Paper-reported ground truth for one target site.
+
+    Attributes:
+        tag: the site's ``@ "tag"`` annotation (e.g. ``png.c@203``).
+        classification: one of ``exposed``, ``unsatisfiable``, ``prevented``.
+        enforced_branches: the paper's enforced-branch count for exposed
+            sites (``None`` for the others).  The reproduction asserts a
+            range around it, not equality — solver choices legitimately shift
+            the exact count by one or two.
+        cve: CVE identifier when the overflow was previously known.
+        target_only_bimodal_high: whether the paper reports the
+            target-constraint-alone success rate as high (≥ 3/4 of samples
+            trigger) rather than low.
+    """
+
+    tag: str
+    classification: str
+    enforced_branches: Optional[int] = None
+    cve: str = "New"
+    target_only_bimodal_high: Optional[bool] = None
+
+
+@dataclass
+class Application:
+    """One benchmark application model."""
+
+    name: str
+    program: Program
+    format_spec: FormatSpec
+    seed_input: bytes
+    expectations: List[SiteExpectation] = field(default_factory=list)
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def known_cves(self) -> Dict[str, str]:
+        """Map site tag → CVE number for previously-known overflows."""
+        return {
+            e.tag: e.cve
+            for e in self.expectations
+            if e.cve != "New"
+        }
+
+    def expectation_for(self, tag: str) -> Optional[SiteExpectation]:
+        """The expectation record for a site tag, if any."""
+        for expectation in self.expectations:
+            if expectation.tag == tag:
+                return expectation
+        return None
+
+    def expected_counts(self) -> Dict[str, int]:
+        """Expected Table 1 row: counts per classification."""
+        counts = {"exposed": 0, "unsatisfiable": 0, "prevented": 0}
+        for expectation in self.expectations:
+            counts[expectation.classification] += 1
+        return counts
+
+    def expected_total_sites(self) -> int:
+        """Expected number of exercised target sites."""
+        return len(self.expectations)
+
+    def __repr__(self) -> str:
+        return (
+            f"Application({self.name!r}, sites={self.expected_total_sites()}, "
+            f"seed={len(self.seed_input)} bytes)"
+        )

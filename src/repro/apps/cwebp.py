@@ -1,0 +1,98 @@
+"""Model of CWebP 0.3.1's JPEG source decoder.
+
+Table 2 reports a single CWebP overflow, in the JPEG source decoder
+(``jpegdec.c@248``): the RGB working buffer is sized from the source image
+dimensions with no sanity checks, so DIODE exposes it without enforcing any
+conditional branch.  The other six allocation sites exercised by the seed
+input derive their sizes from 16-bit or masked quantities and therefore have
+unsatisfiable target constraints (Table 1's CWebP row: 7 sites, 1 exposed,
+6 unsatisfiable, 0 protected).
+"""
+
+from __future__ import annotations
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.formats.webp import (
+    COMPONENTS_OFFSET,
+    HEIGHT_OFFSET,
+    PRECISION_OFFSET,
+    SCAN_LENGTH_OFFSET,
+    WIDTH_OFFSET,
+    WebpFormat,
+    build_webp_seed,
+)
+from repro.lang.program import Program
+
+CWEBP_SOURCE = f"""
+# CWebP 0.3.1 JPEG-source decoding model.
+const PRECISION_OFFSET   = {PRECISION_OFFSET};
+const HEIGHT_OFFSET      = {HEIGHT_OFFSET};
+const WIDTH_OFFSET       = {WIDTH_OFFSET};
+const COMPONENTS_OFFSET  = {COMPONENTS_OFFSET};
+const SCAN_LENGTH_OFFSET = {SCAN_LENGTH_OFFSET};
+
+proc read_be16(offset) {{
+  value = (input(offset) << 8) | input(offset + 1);
+  return value;
+}}
+
+proc read_be32(offset) {{
+  value = (input(offset) << 24) | (input(offset + 1) << 16)
+        | (input(offset + 2) << 8) | input(offset + 3);
+  return value;
+}}
+
+proc main() {{
+  precision   = input(PRECISION_OFFSET);
+  height      = read_be16(HEIGHT_OFFSET);
+  width       = read_be16(WIDTH_OFFSET);
+  components  = input(COMPONENTS_OFFSET);
+  scan_length = read_be32(SCAN_LENGTH_OFFSET);
+
+  # --- libjpeg-style working structures: unsatisfiable target constraints --
+  sample_row     = alloc(width * 2) @ "jpegdec.c@sample_row";
+  mcu_rows       = alloc(height * 2) @ "jpegdec.c@mcu_rows";
+  dimension_sum  = alloc(width + height) @ "jpegdec.c@dimension_sum";
+  component_info = alloc(components * 256) @ "jpegdec.c@component_info";
+  luma_plane     = alloc(width * height) @ "yuv.c@luma_plane";
+  scan_window    = alloc((scan_length & 0xFFFF) + 64) @ "jpegdec.c@scan_window";
+
+  # --- jpegdec.c@248: the RGB buffer DIODE exposes (no sanity checks). ----
+  rgb_buffer = alloc(width * height * 4) @ "jpegdec.c@248";
+
+  rows = height;
+  if (rows > 8) {{
+    rows = 8;
+  }}
+  r = 0;
+  while (r < rows) {{
+    rgb_buffer[r * width * 4] = 128;
+    r = r + 1;
+  }}
+  rgb_buffer[(height - 1) * width * 4 + 3] = 255;
+}}
+"""
+
+
+def build_cwebp_application() -> Application:
+    """Build the CWebP 0.3.1 application model with its JPEG seed input."""
+    program = Program.from_source(CWEBP_SOURCE, name="cwebp-0.3.1")
+    seed = build_webp_seed(width=160, height=120, components=3)
+    expectations = [
+        SiteExpectation("jpegdec.c@248", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("jpegdec.c@sample_row", "unsatisfiable"),
+        SiteExpectation("jpegdec.c@mcu_rows", "unsatisfiable"),
+        SiteExpectation("jpegdec.c@dimension_sum", "unsatisfiable"),
+        SiteExpectation("jpegdec.c@component_info", "unsatisfiable"),
+        SiteExpectation("yuv.c@luma_plane", "unsatisfiable"),
+        SiteExpectation("jpegdec.c@scan_window", "unsatisfiable"),
+    ]
+    return Application(
+        name="CWebP 0.3.1",
+        program=program,
+        format_spec=WebpFormat,
+        seed_input=seed,
+        expectations=expectations,
+        description="WebP encoder; JPEG source image decoding path.",
+    )

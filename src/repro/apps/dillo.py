@@ -1,0 +1,179 @@
+"""Model of Dillo 2.1's PNG processing path (paper Section 2 / Figure 2).
+
+The model reproduces the structure the paper walks through:
+
+* ``png_get_uint_31`` — width and height must be below ``0x7FFFFFFF``
+  (checks 1 and 2);
+* ``png_check_IHDR`` — width and height must be below one million (checks 3
+  and 4);
+* the Dillo ``Png_datainfo_callback`` size check — ``abs(width * height)``
+  compared against ``IMAGE_MAX_W * IMAGE_MAX_H``; the comparison itself is
+  computed in wrapping 32-bit arithmetic, so it is vulnerable to exactly the
+  overflow the paper exploits (check 5);
+* a ``png_memset``-style row-initialisation loop whose trip count depends on
+  ``rowbytes`` — the *blocking check* that makes full-seed-path enforcement
+  unsatisfiable (Section 5.4);
+* the image-data allocation ``png->rowbytes * png->height`` — the paper's
+  headline target site ``png.c@203`` — plus the FLTK image-buffer and
+  image-cache allocations (``fltkimagebuf.cc@39``, ``Image.cxx@741``) that
+  the paper also exposes, and the further allocation sites whose target
+  constraints are unsatisfiable or protected by the sanity checks above
+  (12 exercised target sites in total, 3 exposed / 1 unsatisfiable /
+  8 sanity-protected, matching Table 1's Dillo row).
+"""
+
+from __future__ import annotations
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.formats.png import (
+    BIT_DEPTH_OFFSET,
+    COLOR_TYPE_OFFSET,
+    HEIGHT_OFFSET,
+    PngFormat,
+    WIDTH_OFFSET,
+    build_png_seed,
+)
+from repro.lang.program import Program
+
+DILLO_SOURCE = f"""
+# Dillo 2.1 + libpng PNG processing model.
+const PNG_UINT_31_MAX   = 0x7FFFFFFF;
+const PNG_USER_DIM_MAX  = 1000000;
+const IMAGE_MAX_AREA    = 36000000;      # IMAGE_MAX_W * IMAGE_MAX_H = 6000 * 6000
+const WIDTH_OFFSET      = {WIDTH_OFFSET};
+const HEIGHT_OFFSET     = {HEIGHT_OFFSET};
+const BIT_DEPTH_OFFSET  = {BIT_DEPTH_OFFSET};
+const COLOR_TYPE_OFFSET = {COLOR_TYPE_OFFSET};
+
+proc read_be32(offset) {{
+  value = (input(offset) << 24) | (input(offset + 1) << 16)
+        | (input(offset + 2) << 8) | input(offset + 3);
+  return value;
+}}
+
+# libpng: png_get_uint_31 — checks 1 and 2 of the paper's example.
+proc png_get_uint_31(value) {{
+  if (value > PNG_UINT_31_MAX) {{
+    halt "PNG unsigned integer out of range";
+  }}
+  return value;
+}}
+
+proc main() {{
+  # png_handle_IHDR: read the IHDR fields.
+  raw_width  = read_be32(WIDTH_OFFSET);
+  raw_height = read_be32(HEIGHT_OFFSET);
+  bit_depth  = input(BIT_DEPTH_OFFSET);
+  color_type = input(COLOR_TYPE_OFFSET);
+
+  width  = png_get_uint_31(raw_width);
+  height = png_get_uint_31(raw_height);
+
+  # png_check_IHDR: checks 3 and 4.
+  error = 0;
+  if (height > PNG_USER_DIM_MAX) {{
+    warn "Image height exceeds user limit in IHDR";
+    error = 1;
+  }}
+  if (width > PNG_USER_DIM_MAX) {{
+    warn "Image width exceeds user limit in IHDR";
+    error = 1;
+  }}
+  if (error == 1) {{
+    halt "invalid IHDR data";
+  }}
+
+  # PNG_ROWBYTES: pixel_depth = bit_depth * channels (RGBA -> 4 channels).
+  channels    = 4;
+  pixel_depth = bit_depth * channels;
+  rowbytes    = (width * pixel_depth) >> 3;
+
+  # --- libpng row machinery: sanity-protected allocation sites ----------
+  row_pointers = alloc(height * 4) @ "pngread.c@row_pointers";
+  row_buf      = alloc(rowbytes + 1) @ "pngrutil.c@row_buf";
+  prev_row     = alloc(rowbytes + 8) @ "pngrutil.c@prev_row";
+  gamma_table  = alloc(width * 8) @ "pngrtran.c@gamma_table";
+  trans_table  = alloc(height * 8) @ "pngrtran.c@trans_table";
+
+  # Palette allocation: bounded by the 8-bit color_type field, so the target
+  # constraint itself is unsatisfiable.
+  palette = alloc(color_type * 3 + 768) @ "pngset.c@palette";
+
+  # --- Dillo image scaling buffers: sanity-protected -------------------
+  scaled_w_buf = alloc(width * 2) @ "dicache.c@scaled_width";
+  scaled_h_buf = alloc(height * 2) @ "dicache.c@scaled_height";
+  title_buf    = alloc(width + 256) @ "html.cc@title_buf";
+
+  # --- Png_datainfo_callback: check 5, itself vulnerable to overflow.
+  area = abs(width * height);
+  if (area > IMAGE_MAX_AREA) {{
+    warn "suspicious image size request";
+    halt "image too large";
+  }}
+
+  # The three allocation sites DIODE exposes (Table 2, Dillo rows).
+  image_data  = alloc(rowbytes * height) @ "png.c@203";
+  fltk_buffer = alloc(width * height * 4) @ "fltkimagebuf.cc@39";
+  image_cache = alloc(width * height * 3) @ "Image.cxx@741";
+
+  # --- png_memset-style blocking loop (hand-coded SSE2 loop in the paper):
+  # Dillo clears the row scratch area after setting up the image buffers.
+  # The trip count depends on rowbytes, so any input forced to follow the
+  # seed path through this loop cannot change rowbytes — the blocking check
+  # that makes full-seed-path enforcement unsatisfiable (Section 5.4).
+  scratch = alloc(8192);
+  j = 0;
+  while (j < rowbytes && j < 2048) {{
+    scratch[j] = 0;
+    j = j + 4;
+  }}
+
+  # Decode: read back the final scanline of each buffer, then write the
+  # first scanlines.  When the allocation size wrapped, the last-row reads
+  # land far outside the undersized block and the process takes a SIGSEGV
+  # on an invalid read, the error type the paper reports for Dillo.
+  last_pixel  = image_data[(height - 1) * rowbytes];
+  fltk_pixel  = fltk_buffer[(height - 1) * (width * 4)];
+  cache_pixel = image_cache[(height - 1) * (width * 3)];
+  limit = height;
+  if (limit > 8) {{
+    limit = 8;
+  }}
+  i = 0;
+  while (i < limit) {{
+    image_data[i * rowbytes] = 255;
+    i = i + 1;
+  }}
+}}
+"""
+
+
+def build_dillo_application() -> Application:
+    """Build the Dillo 2.1 application model with its PNG seed input."""
+    program = Program.from_source(DILLO_SOURCE, name="dillo-2.1")
+    seed = build_png_seed(width=280, height=100, bit_depth=8)
+    expectations = [
+        SiteExpectation("png.c@203", "exposed", enforced_branches=4,
+                        cve="CVE-2009-2294", target_only_bimodal_high=False),
+        SiteExpectation("fltkimagebuf.cc@39", "exposed", enforced_branches=5,
+                        target_only_bimodal_high=False),
+        SiteExpectation("Image.cxx@741", "exposed", enforced_branches=4,
+                        target_only_bimodal_high=False),
+        SiteExpectation("pngset.c@palette", "unsatisfiable"),
+        SiteExpectation("pngread.c@row_pointers", "prevented"),
+        SiteExpectation("pngrutil.c@row_buf", "prevented"),
+        SiteExpectation("pngrutil.c@prev_row", "prevented"),
+        SiteExpectation("pngrtran.c@gamma_table", "prevented"),
+        SiteExpectation("pngrtran.c@trans_table", "prevented"),
+        SiteExpectation("dicache.c@scaled_width", "prevented"),
+        SiteExpectation("dicache.c@scaled_height", "prevented"),
+        SiteExpectation("html.cc@title_buf", "prevented"),
+    ]
+    return Application(
+        name="Dillo 2.1",
+        program=program,
+        format_spec=PngFormat,
+        seed_input=seed,
+        expectations=expectations,
+        description="Lightweight web browser; PNG image path through libpng.",
+    )

@@ -1,0 +1,129 @@
+"""Model of ImageMagick 6.5.2's XWD reader, pixel cache and display pipeline.
+
+Table 2 reports three ImageMagick overflows — the X-window image buffer
+(``xwindow.c@5619``, CVE-2009-1882), the pixel cache (``cache.c@803``) and the
+display pipeline buffer (``display.c@4393``) — all exposed without enforcing
+any conditional branch: ImageMagick 6.5.2 performs no dimension sanity checks
+on these paths.  Of the remaining exercised sites, five have unsatisfiable
+target constraints (sizes derived from masked header fields) and one — the
+colormap allocation — is protected by a sanity check on the number of
+colormap entries (Table 1's ImageMagick row: 9 sites, 3 exposed,
+5 unsatisfiable, 1 protected).
+"""
+
+from __future__ import annotations
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.formats.xwd import (
+    BITMAP_PAD_OFFSET,
+    BITMAP_UNIT_OFFSET,
+    BITS_PER_PIXEL_OFFSET,
+    NCOLORS_OFFSET,
+    PIXMAP_DEPTH_OFFSET,
+    PIXMAP_HEIGHT_OFFSET,
+    PIXMAP_WIDTH_OFFSET,
+    VISUAL_CLASS_OFFSET,
+    WINDOW_HEIGHT_OFFSET,
+    WINDOW_WIDTH_OFFSET,
+    XOFFSET_OFFSET,
+    XwdFormat,
+    build_xwd_seed,
+)
+from repro.lang.program import Program
+
+IMAGEMAGICK_SOURCE = f"""
+# ImageMagick 6.5.2 XWD / display model.
+const PIXMAP_WIDTH_OFFSET   = {PIXMAP_WIDTH_OFFSET};
+const PIXMAP_HEIGHT_OFFSET  = {PIXMAP_HEIGHT_OFFSET};
+const PIXMAP_DEPTH_OFFSET   = {PIXMAP_DEPTH_OFFSET};
+const BITS_PER_PIXEL_OFFSET = {BITS_PER_PIXEL_OFFSET};
+const BITMAP_UNIT_OFFSET    = {BITMAP_UNIT_OFFSET};
+const BITMAP_PAD_OFFSET     = {BITMAP_PAD_OFFSET};
+const XOFFSET_OFFSET        = {XOFFSET_OFFSET};
+const VISUAL_CLASS_OFFSET   = {VISUAL_CLASS_OFFSET};
+const NCOLORS_OFFSET        = {NCOLORS_OFFSET};
+const WINDOW_WIDTH_OFFSET   = {WINDOW_WIDTH_OFFSET};
+const WINDOW_HEIGHT_OFFSET  = {WINDOW_HEIGHT_OFFSET};
+
+const MAX_COLORMAP_ENTRIES = 65535;
+
+proc read_be32(offset) {{
+  value = (input(offset) << 24) | (input(offset + 1) << 16)
+        | (input(offset + 2) << 8) | input(offset + 3);
+  return value;
+}}
+
+proc main() {{
+  pixmap_width   = read_be32(PIXMAP_WIDTH_OFFSET);
+  pixmap_height  = read_be32(PIXMAP_HEIGHT_OFFSET);
+  pixmap_depth   = read_be32(PIXMAP_DEPTH_OFFSET);
+  bits_per_pixel = read_be32(BITS_PER_PIXEL_OFFSET);
+  bitmap_unit    = read_be32(BITMAP_UNIT_OFFSET);
+  bitmap_pad     = read_be32(BITMAP_PAD_OFFSET);
+  xoffset        = read_be32(XOFFSET_OFFSET);
+  visual_class   = read_be32(VISUAL_CLASS_OFFSET);
+  ncolors        = read_be32(NCOLORS_OFFSET);
+  window_width   = read_be32(WINDOW_WIDTH_OFFSET);
+  window_height  = read_be32(WINDOW_HEIGHT_OFFSET);
+
+  # --- header bookkeeping: unsatisfiable target constraints ---------------
+  pad_buffer     = alloc(bitmap_pad & 0xFF) @ "xwd.c@pad_buffer";
+  unit_table     = alloc((bitmap_unit & 0x3F) * 8) @ "xwd.c@unit_table";
+  offset_scratch = alloc((xoffset & 0xFFFF) + 32) @ "xwd.c@offset_scratch";
+  visual_info    = alloc((visual_class & 0xF) * 256 + 64) @ "xwd.c@visual_info";
+  depth_lookup   = alloc((pixmap_depth & 0x3F) * (bitmap_pad & 0x3F)) @ "xwd.c@depth_lookup";
+
+  # --- colormap: protected by a sanity check on the entry count -----------
+  if (ncolors > MAX_COLORMAP_ENTRIES) {{
+    halt "colormap entries exceed limit";
+  }}
+  colormap = alloc(ncolors * 12) @ "xwd.c@colormap";
+
+  # --- the three exposed sites (no dimension sanity checks) ---------------
+  window_image  = alloc(window_width * window_height * 4) @ "xwindow.c@5619";
+  pixel_cache   = alloc(pixmap_width * pixmap_height * 4) @ "cache.c@803";
+  display_strip = alloc((pixmap_width * bits_per_pixel >> 3) * pixmap_height + 256)
+                  @ "display.c@4393";
+
+  rows = pixmap_height;
+  if (rows > 8) {{
+    rows = 8;
+  }}
+  r = 0;
+  while (r < rows) {{
+    pixel_cache[r * pixmap_width * 4] = 1;
+    r = r + 1;
+  }}
+  window_image[(window_height - 1) * window_width * 4 + 3] = 255;
+  pixel_cache[(pixmap_height - 1) * pixmap_width * 4] = 255;
+  display_strip[(pixmap_height - 1) * (pixmap_width * bits_per_pixel >> 3)] = 255;
+}}
+"""
+
+
+def build_imagemagick_application() -> Application:
+    """Build the ImageMagick 6.5.2 application model with its XWD seed input."""
+    program = Program.from_source(IMAGEMAGICK_SOURCE, name="imagemagick-6.5.2")
+    seed = build_xwd_seed(width=64, height=48, bits_per_pixel=24, ncolors=4)
+    expectations = [
+        SiteExpectation("xwindow.c@5619", "exposed", enforced_branches=0,
+                        cve="CVE-2009-1882", target_only_bimodal_high=True),
+        SiteExpectation("cache.c@803", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("display.c@4393", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("xwd.c@pad_buffer", "unsatisfiable"),
+        SiteExpectation("xwd.c@unit_table", "unsatisfiable"),
+        SiteExpectation("xwd.c@offset_scratch", "unsatisfiable"),
+        SiteExpectation("xwd.c@visual_info", "unsatisfiable"),
+        SiteExpectation("xwd.c@depth_lookup", "unsatisfiable"),
+        SiteExpectation("xwd.c@colormap", "prevented"),
+    ]
+    return Application(
+        name="ImageMagick 6.5.2",
+        program=program,
+        format_spec=XwdFormat,
+        seed_input=seed,
+        expectations=expectations,
+        description="Image toolkit; XWD reader, pixel cache and display path.",
+    )

@@ -1,0 +1,40 @@
+"""Registry of the five benchmark application models."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps.appbase import Application
+from repro.apps.cwebp import build_cwebp_application
+from repro.apps.dillo import build_dillo_application
+from repro.apps.imagemagick import build_imagemagick_application
+from repro.apps.swfplay import build_swfplay_application
+from repro.apps.vlc import build_vlc_application
+
+_BUILDERS: Dict[str, Callable[[], Application]] = {
+    "dillo": build_dillo_application,
+    "vlc": build_vlc_application,
+    "swfplay": build_swfplay_application,
+    "cwebp": build_cwebp_application,
+    "imagemagick": build_imagemagick_application,
+}
+
+
+def application_names() -> List[str]:
+    """Short names of the available application models."""
+    return list(_BUILDERS)
+
+
+def get_application(name: str) -> Application:
+    """Build one application model by its short name (case-insensitive)."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown application {name!r}; available: {', '.join(_BUILDERS)}"
+        )
+    return _BUILDERS[key]()
+
+
+def all_applications() -> List[Application]:
+    """Build all five benchmark application models."""
+    return [builder() for builder in _BUILDERS.values()]

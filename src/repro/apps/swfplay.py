@@ -1,0 +1,100 @@
+"""Model of SwfPlay 0.5.5 (swfdec) and its embedded JPEG decoder.
+
+Table 2 reports three SwfPlay overflows — two in ``jpeg_rgb_decoder.c`` and
+one in ``jpeg.c`` — all discovered without enforcing any conditional branch:
+the JPEG tag handler performs no sanity checks on the image dimensions
+before sizing its RGB buffers.  The remaining five exercised allocation
+sites have unsatisfiable target constraints: their sizes are derived from
+16-bit or masked quantities that cannot push the arithmetic past 32 bits
+(Table 1's SwfPlay row: 8 sites, 3 exposed, 5 unsatisfiable, 0 protected).
+"""
+
+from __future__ import annotations
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.formats.swf import (
+    JPEG_COMPONENTS_OFFSET,
+    JPEG_HEIGHT_OFFSET,
+    JPEG_WIDTH_OFFSET,
+    STAGE_HEIGHT_OFFSET,
+    STAGE_WIDTH_OFFSET,
+    SwfFormat,
+    build_swf_seed,
+)
+from repro.lang.program import Program
+
+SWFPLAY_SOURCE = f"""
+# SwfPlay 0.5.5 (swfdec) DefineBitsJPEG model.
+const STAGE_WIDTH_OFFSET     = {STAGE_WIDTH_OFFSET};
+const STAGE_HEIGHT_OFFSET    = {STAGE_HEIGHT_OFFSET};
+const JPEG_WIDTH_OFFSET      = {JPEG_WIDTH_OFFSET};
+const JPEG_HEIGHT_OFFSET     = {JPEG_HEIGHT_OFFSET};
+const JPEG_COMPONENTS_OFFSET = {JPEG_COMPONENTS_OFFSET};
+
+proc read_be16(offset) {{
+  value = (input(offset) << 8) | input(offset + 1);
+  return value;
+}}
+
+proc main() {{
+  stage_width  = read_be16(STAGE_WIDTH_OFFSET);
+  stage_height = read_be16(STAGE_HEIGHT_OFFSET);
+  jpeg_width   = read_be16(JPEG_WIDTH_OFFSET);
+  jpeg_height  = read_be16(JPEG_HEIGHT_OFFSET);
+  components   = input(JPEG_COMPONENTS_OFFSET);
+
+  # --- swfdec stage / tag bookkeeping: unsatisfiable target constraints ---
+  stage_buffer   = alloc(stage_width * stage_height) @ "swfdec_movie.c@stage";
+  line_index     = alloc(jpeg_width * 2) @ "jpeg.c@line_index";
+  row_index      = alloc(jpeg_height * 8) @ "jpeg.c@row_index";
+  aligned_stride = alloc((jpeg_width + 15) & 0xFFF0) @ "jpeg_rgb_decoder.c@stride";
+  component_tbl  = alloc(components * 1024) @ "jpeg.c@component_tbl";
+
+  # --- JPEG RGB decoder buffers: the three exposed sites (no checks) ------
+  rgb_buffer   = alloc(jpeg_width * jpeg_height * 3) @ "jpeg_rgb_decoder.c@253";
+  rgba_buffer  = alloc(jpeg_width * jpeg_height * 4) @ "jpeg_rgb_decoder.c@257";
+  image_buffer = alloc(jpeg_width * jpeg_height * components) @ "jpeg.c@192";
+
+  # Decode a bounded band of rows, then touch the final row of each buffer.
+  rows = jpeg_height;
+  if (rows > 8) {{
+    rows = 8;
+  }}
+  r = 0;
+  while (r < rows) {{
+    rgb_buffer[r * jpeg_width * 3] = 1;
+    rgba_buffer[r * jpeg_width * 4] = 2;
+    r = r + 1;
+  }}
+  rgb_buffer[(jpeg_height - 1) * jpeg_width * 3 + 2] = 9;
+  rgba_buffer[(jpeg_height - 1) * jpeg_width * 4 + 3] = 9;
+  image_buffer[(jpeg_height - 1) * jpeg_width * components] = 9;
+}}
+"""
+
+
+def build_swfplay_application() -> Application:
+    """Build the SwfPlay 0.5.5 application model with its SWF seed input."""
+    program = Program.from_source(SWFPLAY_SOURCE, name="swfplay-0.5.5")
+    seed = build_swf_seed(jpeg_width=320, jpeg_height=240, components=3)
+    expectations = [
+        SiteExpectation("jpeg_rgb_decoder.c@253", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("jpeg_rgb_decoder.c@257", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("jpeg.c@192", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("swfdec_movie.c@stage", "unsatisfiable"),
+        SiteExpectation("jpeg.c@line_index", "unsatisfiable"),
+        SiteExpectation("jpeg.c@row_index", "unsatisfiable"),
+        SiteExpectation("jpeg_rgb_decoder.c@stride", "unsatisfiable"),
+        SiteExpectation("jpeg.c@component_tbl", "unsatisfiable"),
+    ]
+    return Application(
+        name="SwfPlay 0.5.5",
+        program=program,
+        format_spec=SwfFormat,
+        seed_input=seed,
+        expectations=expectations,
+        description="Flash player (swfdec); DefineBitsJPEG image decoding.",
+    )

@@ -1,0 +1,181 @@
+"""Model of VLC 0.8.6h's WAV demux / decode path.
+
+Table 2 reports four VLC overflows, all of which DIODE exposes:
+
+* ``wav.c@147`` (CVE-2008-2430) — the extra-data allocation ``x + 2`` whose
+  target constraint has exactly two solutions; no relevant sanity checks, so
+  no branches need to be enforced.
+* ``block.c@54`` — the frame block allocation driven by frame count and
+  frame size; again no relevant sanity checks.
+* ``messages.c@355`` — the message-buffer allocation; two relevant sanity
+  checks (a name-length limit and a frame-count limit) must be enforced.
+* ``dec.c@277`` — the decoder output buffer; several relevant checks on
+  channels, bits per sample and frame size (including one overflow check
+  that is itself computed in wrapping arithmetic and is therefore
+  ineffective, the behaviour the paper calls out for VLC) must be enforced.
+
+All four target constraints are satisfiable and all four sites are exposed,
+matching Table 1's VLC row (4 / 4 / 0 / 0).
+"""
+
+from __future__ import annotations
+
+from repro.apps.appbase import Application, SiteExpectation
+from repro.formats.wav import (
+    BITS_PER_SAMPLE_OFFSET,
+    BLOCK_ALIGN_OFFSET,
+    CHANNELS_OFFSET,
+    DATA_SIZE_OFFSET,
+    ES_NAME_LENGTH_OFFSET,
+    EXTRA_SIZE_OFFSET,
+    FRAME_COUNT_OFFSET,
+    FRAME_SIZE_OFFSET,
+    SAMPLE_RATE_OFFSET,
+    WavFormat,
+    build_wav_seed,
+)
+from repro.lang.program import Program
+
+VLC_SOURCE = f"""
+# VLC 0.8.6h WAV demux + decode model.
+const CHANNELS_OFFSET        = {CHANNELS_OFFSET};
+const SAMPLE_RATE_OFFSET     = {SAMPLE_RATE_OFFSET};
+const BITS_PER_SAMPLE_OFFSET = {BITS_PER_SAMPLE_OFFSET};
+const BLOCK_ALIGN_OFFSET     = {BLOCK_ALIGN_OFFSET};
+const EXTRA_SIZE_OFFSET      = {EXTRA_SIZE_OFFSET};
+const DATA_SIZE_OFFSET       = {DATA_SIZE_OFFSET};
+const FRAME_COUNT_OFFSET     = {FRAME_COUNT_OFFSET};
+const FRAME_SIZE_OFFSET      = {FRAME_SIZE_OFFSET};
+const ES_NAME_LENGTH_OFFSET  = {ES_NAME_LENGTH_OFFSET};
+
+const MAX_CHANNELS      = 32;
+const MAX_BITS          = 32;
+const MAX_FRAME_SIZE    = 0x0FFFFFFF;
+const MAX_NAME_LENGTH   = 65535;
+const MAX_FRAME_COUNT   = 0x0FFFFFFF;
+const MAX_DECODER_BYTES = 0x7FFFFFFF;
+
+proc read_le16(offset) {{
+  value = input(offset) | (input(offset + 1) << 8);
+  return value;
+}}
+
+proc read_le32(offset) {{
+  value = input(offset) | (input(offset + 1) << 8)
+        | (input(offset + 2) << 16) | (input(offset + 3) << 24);
+  return value;
+}}
+
+proc main() {{
+  channels        = read_le16(CHANNELS_OFFSET);
+  sample_rate     = read_le32(SAMPLE_RATE_OFFSET);
+  bits_per_sample = read_le16(BITS_PER_SAMPLE_OFFSET);
+  block_align     = read_le16(BLOCK_ALIGN_OFFSET);
+  extra_size      = read_le32(EXTRA_SIZE_OFFSET);
+  data_size       = read_le32(DATA_SIZE_OFFSET);
+  frame_count     = read_le32(FRAME_COUNT_OFFSET);
+  frame_size      = read_le32(FRAME_SIZE_OFFSET);
+  es_name_length  = read_le32(ES_NAME_LENGTH_OFFSET);
+
+  # ---- wav.c@147 (CVE-2008-2430): extra data allocation, x + 2. --------
+  # No sanity check guards extra_size; only two values of the field make
+  # the addition wrap.
+  extra_data = alloc(extra_size + 2) @ "wav.c@147";
+  extra_data[extra_size + 1] = 0;
+  extra_tail = extra_data[extra_size];
+
+  # ---- block.c@54: frame block allocation, no relevant checks. ---------
+  frame_block = alloc(frame_size * frame_count + 16) @ "block.c@54";
+  block_probe = frame_block[(frame_count - 1) * frame_size];
+
+  # ---- messages.c@355: message buffer, guarded by two sanity checks. ---
+  if (es_name_length > MAX_NAME_LENGTH) {{
+    halt "es name too long";
+  }}
+  if (frame_count > MAX_FRAME_COUNT) {{
+    halt "frame count too large";
+  }}
+  message_buf = alloc(frame_count * 24 + es_name_length) @ "messages.c@355";
+  message_buf[frame_count * 24 + es_name_length - 1] = 10;
+  message_probe = message_buf[frame_count * 24];
+
+  # ---- dec.c@277: decoder output buffer, several sanity checks. --------
+  if (channels > MAX_CHANNELS) {{
+    halt "too many channels";
+  }}
+  if (channels == 0) {{
+    halt "no channels";
+  }}
+  if (bits_per_sample > MAX_BITS) {{
+    halt "unsupported bits per sample";
+  }}
+  if (bits_per_sample == 0) {{
+    halt "missing bits per sample";
+  }}
+  if (frame_size > MAX_FRAME_SIZE) {{
+    halt "frame too large";
+  }}
+  bytes_per_sample = bits_per_sample >> 3;
+  # Ineffective overflow check: the product is computed in wrapping 32-bit
+  # arithmetic, so it can wrap below the limit (the VLC behaviour the paper
+  # describes: "ineffective overflow sanity checks").
+  if (frame_size * channels > MAX_DECODER_BYTES) {{
+    halt "decoder buffer too large";
+  }}
+  decoder_buf = alloc(frame_size * channels * bytes_per_sample) @ "dec.c@277";
+  decoder_buf[frame_size * channels * bytes_per_sample - 4] = 1;
+  decoder_probe = decoder_buf[(frame_size - 1) * channels];
+
+  # Per-sample interleave loop: its trip count depends on channels and bytes
+  # per sample, so it acts as a blocking check for dec.c@277 — an input
+  # forced to follow the whole seed path cannot change the sample stride.
+  s = 0;
+  while (s < channels * bytes_per_sample && s < 64) {{
+    decoder_buf[s] = 0;
+    s = s + 1;
+  }}
+
+  # Decode a bounded number of frames into the block.
+  frames_to_copy = frame_count;
+  if (frames_to_copy > 4) {{
+    frames_to_copy = 4;
+  }}
+  k = 0;
+  while (k < frames_to_copy) {{
+    frame_block[k * frame_size] = 7;
+    k = k + 1;
+  }}
+}}
+"""
+
+
+def build_vlc_application() -> Application:
+    """Build the VLC 0.8.6h application model with its WAV seed input."""
+    program = Program.from_source(VLC_SOURCE, name="vlc-0.8.6h")
+    seed = build_wav_seed(
+        channels=2,
+        sample_rate=44100,
+        bits_per_sample=16,
+        extra_size=8,
+        frame_count=4,
+        frame_size=64,
+        es_name_length=12,
+    )
+    expectations = [
+        SiteExpectation("wav.c@147", "exposed", enforced_branches=0,
+                        cve="CVE-2008-2430", target_only_bimodal_high=True),
+        SiteExpectation("block.c@54", "exposed", enforced_branches=0,
+                        target_only_bimodal_high=True),
+        SiteExpectation("messages.c@355", "exposed", enforced_branches=2,
+                        target_only_bimodal_high=False),
+        SiteExpectation("dec.c@277", "exposed", enforced_branches=5,
+                        target_only_bimodal_high=False),
+    ]
+    return Application(
+        name="VLC 0.8.6h",
+        program=program,
+        format_spec=WavFormat,
+        seed_input=seed,
+        expectations=expectations,
+        description="Media player; WAV demux and audio decode path.",
+    )

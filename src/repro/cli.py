@@ -1,0 +1,166 @@
+"""Command-line interface for the DIODE reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro.cli analyze dillo            # full pipeline, Table-1 style row
+    python -m repro.cli table1                   # all five applications
+    python -m repro.cli site dillo png.c@203     # one site, with enforcement steps
+
+The CLI is a thin layer over :class:`repro.core.engine.Diode`; it exists so
+the reproduction can be driven without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps import all_applications, application_names, get_application
+from repro.core import Diode
+from repro.core.report import ApplicationResult
+
+
+def _format_application_result(result: ApplicationResult, as_json: bool) -> str:
+    if as_json:
+        payload = {
+            "application": result.application,
+            "analysis_seconds": round(result.analysis_seconds, 3),
+            "table1": result.table1_row(),
+            "sites": [
+                {
+                    "site": site.site.name,
+                    "classification": site.classification.value,
+                    "enforced_branches": (
+                        site.bug_report.enforced_branches if site.bug_report else None
+                    ),
+                    "error_type": (
+                        site.bug_report.error_type if site.bug_report else None
+                    ),
+                    "triggering_fields": (
+                        site.bug_report.triggering_field_values if site.bug_report else None
+                    ),
+                }
+                for site in result.site_results
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    lines = [f"{result.application}: {result.total_target_sites} target sites"]
+    for site in result.site_results:
+        line = f"  {site.site.name:32s} {site.classification.value}"
+        if site.bug_report is not None:
+            line += (
+                f"  enforced={site.bug_report.enforced_ratio()}"
+                f"  error={site.bug_report.error_type}"
+            )
+        lines.append(line)
+    row = result.table1_row()
+    lines.append(
+        "  -> exposes {diode_exposes_overflow}, unsatisfiable "
+        "{target_constraint_unsatisfiable}, sanity-prevented "
+        "{sanity_checks_prevent_overflow}".format(**row)
+    )
+    return "\n".join(lines)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    application = get_application(args.application)
+    result = Diode().analyze(application)
+    print(_format_application_result(result, args.json))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    engine = Diode()
+    totals = [0, 0, 0, 0]
+    rows = []
+    for application in all_applications():
+        result = engine.analyze(application)
+        row = result.table1_row()
+        rows.append((application.name, row))
+        totals[0] += row["total_target_sites"]
+        totals[1] += row["diode_exposes_overflow"]
+        totals[2] += row["target_constraint_unsatisfiable"]
+        totals[3] += row["sanity_checks_prevent_overflow"]
+    if args.json:
+        print(json.dumps({name: row for name, row in rows}, indent=2))
+        return 0
+    print(f"{'Application':20s} {'Sites':>6s} {'Exposed':>8s} {'Unsat':>6s} {'Prevented':>10s}")
+    for name, row in rows:
+        print(
+            f"{name:20s} {row['total_target_sites']:>6d} "
+            f"{row['diode_exposes_overflow']:>8d} "
+            f"{row['target_constraint_unsatisfiable']:>6d} "
+            f"{row['sanity_checks_prevent_overflow']:>10d}"
+        )
+    print(f"{'Total':20s} {totals[0]:>6d} {totals[1]:>8d} {totals[2]:>6d} {totals[3]:>10d}")
+    return 0
+
+
+def _cmd_site(args: argparse.Namespace) -> int:
+    application = get_application(args.application)
+    engine = Diode()
+    from repro.core.sites import identify_target_sites
+
+    sites = identify_target_sites(application.program, application.seed_input)
+    matching = [s for s in sites if s.site_tag == args.site or s.name == args.site]
+    if not matching:
+        names = ", ".join(s.name for s in sites)
+        print(f"no target site named {args.site!r}; available: {names}", file=sys.stderr)
+        return 2
+    site_result = engine.analyze_site(application, matching[0])
+    print(f"{application.name} / {site_result.site.name}")
+    print(f"  classification: {site_result.classification.value}")
+    enforcement = site_result.enforcement
+    if enforcement is not None:
+        print(f"  relevant branches: {enforcement.relevant_branch_count}")
+        for step in enforcement.steps:
+            status = "overflow" if step.triggered else "no overflow"
+            enforced = (
+                f"enforced branch {step.enforced_label}"
+                if step.enforced_label is not None
+                else "target constraint only"
+            )
+            print(f"    iteration {step.iteration}: {enforced} -> {status}")
+    if site_result.bug_report is not None:
+        report = site_result.bug_report
+        print(f"  error type: {report.error_type}")
+        print(f"  triggering fields: {report.triggering_field_values}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="DIODE reproduction: targeted integer overflow discovery.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyze one application model")
+    analyze.add_argument("application", choices=application_names())
+    analyze.add_argument("--json", action="store_true", help="emit JSON")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1 for all applications")
+    table1.add_argument("--json", action="store_true", help="emit JSON")
+    table1.set_defaults(func=_cmd_table1)
+
+    site = subparsers.add_parser("site", help="analyze a single target site")
+    site.add_argument("application", choices=application_names())
+    site.add_argument("site", help="site tag, e.g. png.c@203")
+    site.set_defaults(func=_cmd_site)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

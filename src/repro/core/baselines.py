@@ -1,0 +1,274 @@
+"""Baseline input-generation strategies (paper Sections 5.4–5.6 and 6).
+
+These strategies exist to reproduce the comparisons the paper draws:
+
+* :class:`TargetOnlySampling` — generate inputs that satisfy the target
+  constraint alone (Section 5.5, "Target Success Rate" column).  The paper
+  shows a bimodal outcome: near-perfect success when the application has no
+  relevant sanity checks, near-zero when it does.
+* :class:`EnforcedSampling` — generate inputs that satisfy the target
+  constraint plus the branch constraints DIODE enforced (Section 5.6,
+  "Target + Enforced Success Rate" column).
+* :class:`FullPathEnforcement` — the classic concolic strategy: force the
+  candidate to follow the *entire* seed path through the relevant branches
+  (Section 5.4).  Blocking checks make this unsatisfiable for all but two of
+  the paper's sites.
+* :class:`RandomByteFuzzer` and :class:`TaintDirectedFuzzer` — random
+  fuzzing over the whole input and BuzzFuzz/TaintScope-style fuzzing over
+  the relevant bytes only (Section 6's related-work comparison).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.appbase import Application
+from repro.core.branches import (
+    compress_branches,
+    extract_branch_constraints,
+    relevant_branches,
+)
+from repro.core.detection import ErrorDetector
+from repro.core.enforcement import EnforcementResult
+from repro.core.inputs import InputGenerator
+from repro.core.overflow import overflow_constraint
+from repro.core.sites import TargetSite
+from repro.core.target import TargetObservation
+from repro.smt.solver import PortfolioSolver, SolverStatus
+from repro.smt.terms import Term
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running one baseline strategy against one target site."""
+
+    strategy: str
+    site_name: str
+    attempts: int
+    successes: int
+    satisfiable: Optional[bool] = None
+    elapsed_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted inputs that triggered the overflow."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    def ratio(self) -> str:
+        """Format as the paper's ``X/N`` success-rate entries."""
+        return f"{self.successes}/{self.attempts}"
+
+
+class _SamplingStrategy:
+    """Shared machinery: sample models of a constraint, test each input."""
+
+    strategy_name = "sampling"
+
+    def __init__(
+        self,
+        application: Application,
+        solver: Optional[PortfolioSolver] = None,
+        seed: int = 0,
+    ) -> None:
+        self.application = application
+        self.solver = solver or PortfolioSolver()
+        self.seed = seed
+        self.generator = InputGenerator(application.seed_input, application.format_spec)
+        self.detector = ErrorDetector(application.program, application.seed_input)
+
+    def _run_sampling(
+        self,
+        constraints: Sequence[Term],
+        site: TargetSite,
+        samples: int,
+    ) -> BaselineResult:
+        started = time.perf_counter()
+        models = self.solver.sample_models(constraints, samples, seed=self.seed)
+        successes = 0
+        for model in models:
+            candidate = self.generator.generate(model)
+            evaluation = self.detector.evaluate(candidate.data, site.site_label)
+            if evaluation.triggers_overflow:
+                successes += 1
+        return BaselineResult(
+            strategy=self.strategy_name,
+            site_name=site.name,
+            attempts=samples,
+            successes=successes,
+            satisfiable=bool(models),
+            elapsed_seconds=time.perf_counter() - started,
+            details={"models_generated": len(models)},
+        )
+
+
+class TargetOnlySampling(_SamplingStrategy):
+    """Sample inputs satisfying the target constraint alone (Section 5.5)."""
+
+    strategy_name = "target_only"
+
+    def run(self, observation: TargetObservation, samples: int = 200) -> BaselineResult:
+        """Sample ``samples`` target-constraint models and test each one."""
+        if observation.size_expression is None:
+            return BaselineResult(
+                strategy=self.strategy_name,
+                site_name=observation.site.name,
+                attempts=samples,
+                successes=0,
+                satisfiable=False,
+            )
+        beta = overflow_constraint(observation.size_expression)
+        return self._run_sampling([beta], observation.site, samples)
+
+
+class EnforcedSampling(_SamplingStrategy):
+    """Sample inputs satisfying target + enforced constraints (Section 5.6)."""
+
+    strategy_name = "target_plus_enforced"
+
+    def run(
+        self,
+        enforcement: EnforcementResult,
+        samples: int = 200,
+    ) -> BaselineResult:
+        """Sample models of β plus the branches DIODE actually enforced."""
+        constraints = [enforcement.target_constraint] + [
+            branch.condition for branch in enforcement.enforced_branches
+        ]
+        return self._run_sampling(constraints, enforcement.observation.site, samples)
+
+
+class FullPathEnforcement:
+    """Force the candidate to follow the whole seed path (Section 5.4).
+
+    This is the strategy the paper contrasts DIODE against: require the
+    target constraint *and* every relevant compressed branch constraint of
+    the seed path.  Blocking checks usually make the conjunction
+    unsatisfiable.
+    """
+
+    strategy_name = "full_path"
+
+    def __init__(
+        self,
+        application: Application,
+        solver: Optional[PortfolioSolver] = None,
+    ) -> None:
+        self.application = application
+        self.solver = solver or PortfolioSolver()
+        self.generator = InputGenerator(application.seed_input, application.format_spec)
+        self.detector = ErrorDetector(application.program, application.seed_input)
+
+    def run(self, observation: TargetObservation) -> BaselineResult:
+        """Check satisfiability of β ∧ (entire relevant seed path)."""
+        started = time.perf_counter()
+        site = observation.site
+        if observation.size_expression is None:
+            return BaselineResult(
+                strategy=self.strategy_name,
+                site_name=site.name,
+                attempts=0,
+                successes=0,
+                satisfiable=False,
+            )
+        beta = overflow_constraint(observation.size_expression)
+        compressed = compress_branches(
+            extract_branch_constraints(observation.seed_path)
+        )
+        relevant = relevant_branches(compressed, beta)
+        constraints = [beta] + [branch.condition for branch in relevant]
+        solver_result = self.solver.check(constraints)
+
+        attempts = 0
+        successes = 0
+        if solver_result.is_sat and solver_result.model is not None:
+            attempts = 1
+            candidate = self.generator.generate(solver_result.model)
+            evaluation = self.detector.evaluate(candidate.data, site.site_label)
+            if evaluation.triggers_overflow:
+                successes = 1
+        return BaselineResult(
+            strategy=self.strategy_name,
+            site_name=site.name,
+            attempts=attempts,
+            successes=successes,
+            satisfiable=None if solver_result.is_unknown else solver_result.is_sat,
+            elapsed_seconds=time.perf_counter() - started,
+            details={
+                "relevant_branches": len(relevant),
+                "solver_status": solver_result.status,
+            },
+        )
+
+
+class RandomByteFuzzer:
+    """Mutate random bytes of the seed input (classic random fuzzing)."""
+
+    strategy_name = "random_fuzz"
+
+    def __init__(self, application: Application, seed: int = 0) -> None:
+        self.application = application
+        self.random = random.Random(seed)
+        self.detector = ErrorDetector(application.program, application.seed_input)
+
+    def run(
+        self,
+        site: TargetSite,
+        attempts: int = 200,
+        mutations_per_input: int = 8,
+    ) -> BaselineResult:
+        """Run ``attempts`` random mutations and count overflow triggers."""
+        started = time.perf_counter()
+        seed_input = self.application.seed_input
+        successes = 0
+        for _ in range(attempts):
+            data = bytearray(seed_input)
+            for _ in range(mutations_per_input):
+                position = self.random.randrange(len(data))
+                data[position] = self.random.randrange(256)
+            evaluation = self.detector.evaluate(bytes(data), site.site_label)
+            if evaluation.triggers_overflow:
+                successes += 1
+        return BaselineResult(
+            strategy=self.strategy_name,
+            site_name=site.name,
+            attempts=attempts,
+            successes=successes,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+class TaintDirectedFuzzer:
+    """Mutate only the relevant input bytes (BuzzFuzz / TaintScope style)."""
+
+    strategy_name = "taint_directed_fuzz"
+
+    def __init__(self, application: Application, seed: int = 0) -> None:
+        self.application = application
+        self.random = random.Random(seed)
+        self.detector = ErrorDetector(application.program, application.seed_input)
+
+    def run(self, site: TargetSite, attempts: int = 200) -> BaselineResult:
+        """Fuzz the relevant bytes with random values; count overflow triggers."""
+        started = time.perf_counter()
+        seed_input = self.application.seed_input
+        relevant = sorted(site.relevant_bytes)
+        successes = 0
+        for _ in range(attempts):
+            data = bytearray(seed_input)
+            for offset in relevant:
+                if offset < len(data):
+                    data[offset] = self.random.randrange(256)
+            evaluation = self.detector.evaluate(bytes(data), site.site_label)
+            if evaluation.triggers_overflow:
+                successes += 1
+        return BaselineResult(
+            strategy=self.strategy_name,
+            site_name=site.name,
+            attempts=attempts,
+            successes=successes,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,176 @@
+"""The DIODE front end: orchestrate the full Figure-1 pipeline.
+
+``Diode.analyze(application)`` runs, for one benchmark application model and
+its seed input:
+
+1. target site identification (taint stage),
+2. per-site target expression and branch constraint extraction (concolic
+   stage restricted to the site's relevant bytes),
+3. target constraint construction and solution,
+4. goal-directed conditional branch enforcement,
+5. error detection and bug-report generation,
+
+and returns an :class:`~repro.core.report.ApplicationResult` with the
+per-site classifications (Table 1) and bug reports (Table 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.appbase import Application
+from repro.core.detection import ErrorDetector
+from repro.core.enforcement import (
+    EnforcementConfig,
+    EnforcementOutcome,
+    EnforcementResult,
+    GoalDirectedEnforcer,
+)
+from repro.core.fieldmap import FieldMapper
+from repro.core.inputs import InputGenerator
+from repro.core.report import (
+    ApplicationResult,
+    OverflowBugReport,
+    SiteClassification,
+    SiteResult,
+    classification_from_enforcement,
+)
+from repro.core.sites import TargetSite, identify_target_sites
+from repro.core.target import TargetObservation, extract_target_observations
+from repro.smt.solver import PortfolioSolver, SolverConfig
+
+
+@dataclass
+class DiodeConfig:
+    """Configuration for a DIODE analysis run."""
+
+    enforcement: EnforcementConfig = field(default_factory=EnforcementConfig)
+    solver: SolverConfig = field(default_factory=SolverConfig)
+    max_observations_per_site: int = 2
+
+
+class Diode:
+    """The directed integer overflow discovery engine."""
+
+    def __init__(self, config: Optional[DiodeConfig] = None) -> None:
+        self.config = config or DiodeConfig()
+
+    # ------------------------------------------------------------------
+    # Whole-application analysis
+    # ------------------------------------------------------------------
+    def analyze(self, application: Application) -> ApplicationResult:
+        """Run the full pipeline on one application model."""
+        started = time.perf_counter()
+        program = application.program
+        seed = application.seed_input
+
+        sites = identify_target_sites(program, seed)
+        analysis_seconds = time.perf_counter() - started
+
+        result = ApplicationResult(
+            application=application.name,
+            seed_input=seed,
+            analysis_seconds=analysis_seconds,
+        )
+        for site in sites:
+            result.site_results.append(self.analyze_site(application, site))
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-site analysis
+    # ------------------------------------------------------------------
+    def analyze_site(self, application: Application, site: TargetSite) -> SiteResult:
+        """Run extraction + enforcement for one target site."""
+        started = time.perf_counter()
+        program = application.program
+        seed = application.seed_input
+        mapper = FieldMapper(application.format_spec)
+
+        observations = extract_target_observations(
+            program,
+            seed,
+            site,
+            field_mapper=mapper,
+            max_observations=self.config.max_observations_per_site,
+        )
+
+        solver = PortfolioSolver(self.config.solver)
+        generator = InputGenerator(seed, application.format_spec)
+        detector = ErrorDetector(program, seed)
+        enforcer = GoalDirectedEnforcer(
+            solver, generator, detector, self.config.enforcement
+        )
+
+        best: Optional[EnforcementResult] = None
+        for observation in observations:
+            enforcement = enforcer.run(observation)
+            if best is None or _better_outcome(enforcement, best):
+                best = enforcement
+            if enforcement.found_overflow:
+                break
+
+        discovery_seconds = time.perf_counter() - started
+        if best is None:
+            return SiteResult(
+                site=site,
+                classification=SiteClassification.TARGET_UNSATISFIABLE,
+                discovery_seconds=discovery_seconds,
+            )
+
+        classification = classification_from_enforcement(best)
+        bug_report = None
+        if classification is SiteClassification.OVERFLOW_EXPOSED:
+            bug_report = self._bug_report(application, site, best, discovery_seconds)
+        return SiteResult(
+            site=site,
+            classification=classification,
+            enforcement=best,
+            bug_report=bug_report,
+            discovery_seconds=discovery_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _bug_report(
+        self,
+        application: Application,
+        site: TargetSite,
+        enforcement: EnforcementResult,
+        discovery_seconds: float,
+    ) -> OverflowBugReport:
+        evaluation = enforcement.evaluation
+        error_type = evaluation.error_type() if evaluation is not None else "None"
+        field_values = {}
+        if enforcement.triggering_model:
+            field_values = {
+                name: value
+                for name, value in enforcement.triggering_model.items()
+                if not name.startswith("inp[")
+            }
+        return OverflowBugReport(
+            application=application.name,
+            target=site.name,
+            cve=application.known_cves.get(site.name, "New"),
+            error_type=error_type,
+            enforced_branches=enforcement.enforced_count,
+            relevant_branches=enforcement.relevant_branch_count,
+            analysis_seconds=0.0,
+            discovery_seconds=discovery_seconds,
+            triggering_field_values=field_values,
+            triggering_input=enforcement.triggering_input,
+        )
+
+
+_OUTCOME_PRIORITY = {
+    EnforcementOutcome.OVERFLOW_TRIGGERED: 5,
+    EnforcementOutcome.SEED_PATH_EXHAUSTED: 4,
+    EnforcementOutcome.CONSTRAINTS_UNSATISFIABLE: 3,
+    EnforcementOutcome.TARGET_UNSATISFIABLE: 2,
+    EnforcementOutcome.ITERATION_LIMIT: 1,
+    EnforcementOutcome.SOLVER_UNKNOWN: 0,
+}
+
+
+def _better_outcome(candidate: EnforcementResult, incumbent: EnforcementResult) -> bool:
+    return _OUTCOME_PRIORITY[candidate.outcome] > _OUTCOME_PRIORITY[incumbent.outcome]

@@ -1,0 +1,313 @@
+"""Concolic interpreter: paired concrete + symbolic execution.
+
+This is the paper's second instrumentation stage (Section 4.2): rerun the
+program recording, for every value influenced by the *relevant input bytes*,
+a symbolic expression over those bytes.  Values untouched by relevant bytes
+carry no symbolic expression — that restriction (plus on-the-fly
+simplification) is the paper's key scalability optimisation, and it is what
+keeps the extracted target expressions and branch conditions small enough to
+hand to the solver.
+
+Symbolic values are terms from :mod:`repro.smt`:
+
+* the input byte at offset ``i`` is the 8-bit variable ``inp[i]`` zero
+  extended to the machine width;
+* every machine operation maps to the corresponding bitvector operation, so
+  the extracted expressions faithfully model the wrap-around arithmetic of
+  the concrete execution (the requirement the paper states for its target
+  constraints);
+* branch observations record the symbolic branch condition oriented along
+  the taken direction (the ``⟨ℓ, B'⟩`` / ``⟨ℓ, !B'⟩`` of Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exec.concrete import ConcreteInterpreter
+from repro.exec.trace import ExecutionReport
+from repro.lang.ast import AllocStmt, BinaryOp, Stmt, UnaryOp
+from repro.lang.program import Program
+from repro.smt import builder as smt
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term
+
+
+def input_byte_variable(offset: int) -> Term:
+    """The 8-bit symbolic variable for the input byte at ``offset``."""
+    return smt.bv_var(f"inp[{offset}]", 8)
+
+
+def input_variable_offset(name: str) -> Optional[int]:
+    """Inverse of :func:`input_byte_variable` (``None`` if not an input var)."""
+    if name.startswith("inp[") and name.endswith("]"):
+        try:
+            return int(name[4:-1])
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass
+class SymbolicAllocation:
+    """A symbolic record of one allocation-site execution."""
+
+    site_label: int
+    site_tag: Optional[str]
+    requested_size: int
+    size_expression: Optional[Term]
+    sequence_index: int
+
+
+@dataclass
+class SymbolicBranch:
+    """A symbolic record of one conditional branch execution."""
+
+    label: int
+    taken: bool
+    condition: Optional[Term]
+    sequence_index: int
+
+
+@dataclass
+class ConcolicReport:
+    """Result of a concolic run."""
+
+    execution: ExecutionReport
+    allocations: List[SymbolicAllocation] = field(default_factory=list)
+    branches: List[SymbolicBranch] = field(default_factory=list)
+
+    def allocations_at(self, site_label: int) -> List[SymbolicAllocation]:
+        """Symbolic allocation records for a given site."""
+        return [a for a in self.allocations if a.site_label == site_label]
+
+    def symbolic_branches(self) -> List[SymbolicBranch]:
+        """Branches whose condition is influenced by relevant input bytes."""
+        return [b for b in self.branches if b.condition is not None]
+
+
+class ConcolicInterpreter(ConcreteInterpreter):
+    """Concrete interpreter that pairs values with symbolic expressions.
+
+    ``relevant_bytes`` restricts which input bytes receive symbolic
+    variables; reads of other bytes stay purely concrete.  Passing ``None``
+    makes every byte symbolic (useful for small programs and tests, but the
+    DIODE pipeline always passes the relevant set from the taint stage).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        relevant_bytes: Optional[Set[int]] = None,
+        simplify_online: bool = True,
+        field_map: Optional[Dict[int, Tuple[str, int, int]]] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(program, **kwargs)
+        self.relevant_bytes = set(relevant_bytes) if relevant_bytes is not None else None
+        self.simplify_online = simplify_online
+        #: offset → (field variable name, field width in bits, low bit of
+        #: this byte within the field value).  When present, input bytes are
+        #: symbolised as slices of a per-field variable instead of per-byte
+        #: variables — the Hachoir byte-range → field conversion of the paper.
+        self.field_map = dict(field_map) if field_map else {}
+        self.concolic_report: Optional[ConcolicReport] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_concolic(self, input_bytes: bytes) -> ConcolicReport:
+        """Run the program and return the concolic report."""
+        execution = self.run(input_bytes)
+        assert self.concolic_report is not None
+        self.concolic_report.execution = execution
+        return self.concolic_report
+
+    # ------------------------------------------------------------------
+    # Analysis hooks
+    # ------------------------------------------------------------------
+    def _setup_analysis(self) -> None:
+        self.concolic_report = ConcolicReport(execution=ExecutionReport())
+
+    def _maybe_simplify(self, term: Term) -> Term:
+        return simplify(term) if self.simplify_online else term
+
+    def _annotate_constant(self, value: int) -> Optional[Term]:
+        return None
+
+    def _annotate_input_size(self, value: int) -> Optional[Term]:
+        return None
+
+    def _annotate_input_byte(
+        self, offset: int, value: int, offset_annotation: Any
+    ) -> Optional[Term]:
+        if offset_annotation is not None:
+            # Input-dependent offsets (input[input[i]]) are outside the
+            # relevant-byte model; concretise the offset, keep the byte
+            # symbolic if it is relevant.
+            pass
+        if self.relevant_bytes is not None and offset not in self.relevant_bytes:
+            return None
+        mapping = self.field_map.get(offset)
+        if mapping is not None:
+            field_name, field_width, low_bit = mapping
+            field_var = smt.bv_var(field_name, field_width)
+            if field_width <= 8 and low_bit == 0:
+                byte_term = field_var
+            else:
+                byte_term = smt.extract(field_var, low_bit + 7, low_bit)
+            return smt.zext(byte_term, self.machine.width)
+        return smt.zext(input_byte_variable(offset), self.machine.width)
+
+    def _annotate_unary(
+        self, op: UnaryOp, operand: Tuple[int, Any], result: int
+    ) -> Optional[Term]:
+        operand_term = self._term_of(operand)
+        if operand_term is None:
+            return None
+        if op is UnaryOp.NEG:
+            return self._maybe_simplify(smt.neg(operand_term))
+        if op is UnaryOp.BITNOT:
+            return self._maybe_simplify(smt.bvnot(operand_term))
+        if op is UnaryOp.NOT:
+            zero = smt.bv_const(0, self.machine.width)
+            return self._maybe_simplify(
+                smt.ite(smt.eq(operand_term, zero), smt.bv_const(1, self.machine.width), zero)
+            )
+        if op is UnaryOp.ABS:
+            zero = smt.bv_const(0, self.machine.width)
+            return self._maybe_simplify(
+                smt.ite(smt.slt(operand_term, zero), smt.neg(operand_term), operand_term)
+            )
+        return None
+
+    def _annotate_binary(
+        self, op: BinaryOp, left: Tuple[int, Any], right: Tuple[int, Any], result: int
+    ) -> Optional[Term]:
+        left_term = self._term_of(left)
+        right_term = self._term_of(right)
+        if left_term is None and right_term is None:
+            return None
+        width = self.machine.width
+        if left_term is None:
+            left_term = smt.bv_const(left[0], width)
+        if right_term is None:
+            right_term = smt.bv_const(right[0], width)
+        term = self._symbolic_binary(op, left_term, right_term, width)
+        if term is None:
+            return None
+        return self._maybe_simplify(term)
+
+    def _symbolic_binary(
+        self, op: BinaryOp, left: Term, right: Term, width: int
+    ) -> Optional[Term]:
+        one = smt.bv_const(1, width)
+        zero = smt.bv_const(0, width)
+
+        if op is BinaryOp.ADD:
+            return smt.add(left, right)
+        if op is BinaryOp.SUB:
+            return smt.sub(left, right)
+        if op is BinaryOp.MUL:
+            return smt.mul(left, right)
+        if op is BinaryOp.DIV:
+            return smt.udiv(left, right)
+        if op is BinaryOp.MOD:
+            return smt.urem(left, right)
+        if op is BinaryOp.SHL:
+            return smt.shl(left, right)
+        if op is BinaryOp.SHR:
+            return smt.lshr(left, right)
+        if op is BinaryOp.BITAND:
+            return smt.bvand(left, right)
+        if op is BinaryOp.BITOR:
+            return smt.bvor(left, right)
+        if op is BinaryOp.BITXOR:
+            return smt.bvxor(left, right)
+
+        comparison = self._symbolic_comparison(op, left, right)
+        if comparison is not None:
+            return smt.ite(comparison, one, zero)
+        if op is BinaryOp.AND:
+            return smt.ite(
+                smt.band(smt.ne(left, zero), smt.ne(right, zero)), one, zero
+            )
+        if op is BinaryOp.OR:
+            return smt.ite(
+                smt.bor(smt.ne(left, zero), smt.ne(right, zero)), one, zero
+            )
+        return None
+
+    @staticmethod
+    def _symbolic_comparison(op: BinaryOp, left: Term, right: Term) -> Optional[Term]:
+        if op is BinaryOp.EQ:
+            return smt.eq(left, right)
+        if op is BinaryOp.NE:
+            return smt.ne(left, right)
+        if op is BinaryOp.LT:
+            return smt.ult(left, right)
+        if op is BinaryOp.LE:
+            return smt.ule(left, right)
+        if op is BinaryOp.GT:
+            return smt.ugt(left, right)
+        if op is BinaryOp.GE:
+            return smt.uge(left, right)
+        if op is BinaryOp.SLT:
+            return smt.slt(left, right)
+        if op is BinaryOp.SLE:
+            return smt.sle(left, right)
+        if op is BinaryOp.SGT:
+            return smt.sgt(left, right)
+        if op is BinaryOp.SGE:
+            return smt.sge(left, right)
+        return None
+
+    def _annotate_alloc_address(self, size: Tuple[int, Any], address: int) -> Optional[Term]:
+        return None
+
+    def _observe_branch(
+        self, statement: Stmt, condition: Tuple[int, Any], taken: bool
+    ) -> Optional[Term]:
+        condition_term = self._term_of(condition)
+        if condition_term is None:
+            return None
+        width = self.machine.width
+        zero = smt.bv_const(0, width)
+        truth = smt.ne(condition_term, zero)
+        oriented = truth if taken else smt.bnot(truth)
+        oriented = self._maybe_simplify(oriented)
+        if self.concolic_report is not None:
+            self.concolic_report.branches.append(
+                SymbolicBranch(
+                    label=statement.label if statement.label is not None else -1,
+                    taken=taken,
+                    condition=oriented,
+                    sequence_index=self.sequence_index,
+                )
+            )
+        return oriented
+
+    def _observe_allocation(
+        self, statement: AllocStmt, size: Tuple[int, Any]
+    ) -> Optional[Term]:
+        size_term = self._term_of(size)
+        if self.concolic_report is not None:
+            self.concolic_report.allocations.append(
+                SymbolicAllocation(
+                    site_label=statement.label if statement.label is not None else -1,
+                    site_tag=statement.tag,
+                    requested_size=size[0],
+                    size_expression=size_term,
+                    sequence_index=self.sequence_index,
+                )
+            )
+        return size_term
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _term_of(annotated: Tuple[int, Any]) -> Optional[Term]:
+        annotation = annotated[1]
+        if isinstance(annotation, Term):
+            return annotation
+        return None

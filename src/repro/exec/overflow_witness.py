@@ -1,0 +1,131 @@
+"""Overflow-witness interpreter: did an allocation size actually wrap?
+
+DIODE's automated detection in the paper is indirect (memcheck errors), with
+manual verification that the allocation size really overflowed.  This
+interpreter automates that manual step: it tracks, for every value, whether
+some arithmetic operation in the value's dataflow wrapped around its machine
+width.  An allocation whose requested size carries that flag is a genuine
+integer-overflow allocation, regardless of whether the subsequent
+out-of-bounds accesses happen to fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.exec.concrete import ConcreteInterpreter
+from repro.exec.trace import ExecutionReport
+from repro.lang.ast import AllocStmt, BinaryOp, Stmt, UnaryOp
+from repro.lang.program import Program
+
+#: Operators whose result can exceed the machine width.
+_WRAPPING_OPS = frozenset({BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.SHL})
+
+
+@dataclass
+class OverflowedAllocation:
+    """One allocation whose size computation wrapped."""
+
+    site_label: int
+    site_tag: Optional[str]
+    requested_size: int
+    sequence_index: int
+
+
+@dataclass
+class OverflowWitnessReport:
+    """Result of an overflow-witness run."""
+
+    execution: ExecutionReport
+    overflowed_allocations: List[OverflowedAllocation] = field(default_factory=list)
+
+    def overflowed_site_labels(self) -> List[int]:
+        """Labels of allocation sites whose size overflowed in this run."""
+        seen: List[int] = []
+        for record in self.overflowed_allocations:
+            if record.site_label not in seen:
+                seen.append(record.site_label)
+        return seen
+
+    def site_overflowed(self, site_label: int) -> bool:
+        """Whether the given site allocated a wrapped size during this run."""
+        return any(r.site_label == site_label for r in self.overflowed_allocations)
+
+
+class OverflowWitnessInterpreter(ConcreteInterpreter):
+    """Concrete interpreter whose annotation is "this value's computation wrapped"."""
+
+    def __init__(self, program: Program, **kwargs: Any) -> None:
+        super().__init__(program, **kwargs)
+        self.witness_report: Optional[OverflowWitnessReport] = None
+
+    # ------------------------------------------------------------------
+    def run_witness(self, input_bytes: bytes) -> OverflowWitnessReport:
+        """Run the program and return the overflow-witness report."""
+        execution = self.run(input_bytes)
+        assert self.witness_report is not None
+        self.witness_report.execution = execution
+        return self.witness_report
+
+    # ------------------------------------------------------------------
+    def _setup_analysis(self) -> None:
+        self.witness_report = OverflowWitnessReport(execution=ExecutionReport())
+
+    def _annotate_constant(self, value: int) -> bool:
+        return False
+
+    def _annotate_input_size(self, value: int) -> bool:
+        return False
+
+    def _annotate_input_byte(self, offset: int, value: int, offset_annotation: Any) -> bool:
+        return False
+
+    def _annotate_unary(self, op: UnaryOp, operand: Tuple[int, Any], result: int) -> bool:
+        if op is UnaryOp.NEG and operand[0] != 0:
+            # Negation of a non-zero unsigned value always wraps; treat it as
+            # benign (it is how two's-complement code is written) unless the
+            # operand already carried a wrap.
+            return bool(operand[1])
+        return bool(operand[1])
+
+    def _annotate_binary(
+        self, op: BinaryOp, left: Tuple[int, Any], right: Tuple[int, Any], result: int
+    ) -> bool:
+        carried = bool(left[1]) or bool(right[1])
+        if op not in _WRAPPING_OPS:
+            return carried
+        ideal = self._ideal_result(op, left[0], right[0])
+        wrapped_here = ideal is not None and self.machine.wrap(ideal) != ideal
+        return carried or wrapped_here
+
+    @staticmethod
+    def _ideal_result(op: BinaryOp, left: int, right: int) -> Optional[int]:
+        if op is BinaryOp.ADD:
+            return left + right
+        if op is BinaryOp.SUB:
+            return left - right
+        if op is BinaryOp.MUL:
+            return left * right
+        if op is BinaryOp.SHL:
+            return left << right if right < 64 else None
+        return None
+
+    def _annotate_alloc_address(self, size: Tuple[int, Any], address: int) -> bool:
+        return False
+
+    def _observe_branch(self, statement: Stmt, condition: Tuple[int, Any], taken: bool) -> bool:
+        return bool(condition[1])
+
+    def _observe_allocation(self, statement: AllocStmt, size: Tuple[int, Any]) -> bool:
+        overflowed = bool(size[1])
+        if overflowed and self.witness_report is not None:
+            self.witness_report.overflowed_allocations.append(
+                OverflowedAllocation(
+                    site_label=statement.label if statement.label is not None else -1,
+                    site_tag=statement.tag,
+                    requested_size=size[0],
+                    sequence_index=self.sequence_index,
+                )
+            )
+        return overflowed

@@ -1,0 +1,177 @@
+"""Program state: environment, memory, branch conditions, allocations.
+
+These classes mirror the formal state of the paper's operational semantics
+(Section 3.2): an environment mapping variables to ⟨value, symbolic value⟩
+pairs, a memory mapping (base address, offset) to such pairs, and a branch
+condition φ — the execution-ordered sequence of ⟨label, symbolic branch
+condition⟩ observations.
+
+The "annotation" slot generalises the paper's symbolic value: the concrete
+interpreter stores ``None`` there, the taint interpreter stores a frozenset
+of influencing input-byte offsets, and the concolic interpreter stores an
+:class:`repro.smt.terms.Term`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+#: A runtime value paired with its analysis annotation.
+AnnotatedValue = Tuple[int, Any]
+
+
+class Environment:
+    """Variable environment ρ: name → ⟨value, annotation⟩."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, AnnotatedValue] = {}
+
+    def read(self, name: str) -> AnnotatedValue:
+        """Read a variable; undefined variables read as ⟨0, None⟩.
+
+        Real C code routinely reads uninitialised stack slots that happen to
+        be zero; modelling undefined-as-zero keeps the application models
+        concise without affecting the analyses (an undefined variable cannot
+        be input-influenced).
+        """
+        return self._bindings.get(name, (0, None))
+
+    def write(self, name: str, value: int, annotation: Any = None) -> None:
+        """Bind a variable to ⟨value, annotation⟩."""
+        self._bindings[name] = (value, annotation)
+
+    def defined(self, name: str) -> bool:
+        """Whether the variable has been written."""
+        return name in self._bindings
+
+    def names(self) -> Iterator[str]:
+        """Iterate over bound variable names."""
+        return iter(self._bindings)
+
+    def snapshot(self) -> Dict[str, AnnotatedValue]:
+        """Copy of the current bindings (for reports / debugging)."""
+        return dict(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"Environment({len(self._bindings)} bindings)"
+
+
+@dataclass
+class MemoryBlock:
+    """One allocated block: base address, requested size, cell contents."""
+
+    address: int
+    size: int
+    site_label: int
+    site_tag: Optional[str] = None
+    cells: Dict[int, AnnotatedValue] = field(default_factory=dict)
+
+    def in_bounds(self, offset: int) -> bool:
+        """Whether a byte offset lies inside the allocated size."""
+        return 0 <= offset < self.size
+
+
+class Memory:
+    """Memory m: base address → offset → ⟨value, annotation⟩.
+
+    Addresses are opaque integers handed out sequentially; there is no
+    address arithmetic across blocks (the core language has none either).
+    """
+
+    #: Address spacing between blocks: large enough that an out-of-bounds
+    #: offset within one "page" past the block end does not collide with the
+    #: next block, mirroring how a real heap overrun first corrupts adjacent
+    #: memory before faulting.
+    BLOCK_STRIDE = 1 << 20
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, MemoryBlock] = {}
+        self._next_address = self.BLOCK_STRIDE
+
+    def allocate(
+        self, size: int, site_label: int, site_tag: Optional[str] = None
+    ) -> MemoryBlock:
+        """Allocate a new block of ``size`` bytes; returns the block."""
+        address = self._next_address
+        self._next_address += self.BLOCK_STRIDE
+        block = MemoryBlock(
+            address=address, size=size, site_label=site_label, site_tag=site_tag
+        )
+        self._blocks[address] = block
+        return block
+
+    def block_at(self, address: int) -> Optional[MemoryBlock]:
+        """The block whose base address is ``address`` (or ``None``)."""
+        return self._blocks.get(address)
+
+    def blocks(self) -> List[MemoryBlock]:
+        """All allocated blocks in allocation order."""
+        return list(self._blocks.values())
+
+    def read(self, address: int, offset: int) -> AnnotatedValue:
+        """Read a cell; uninitialised cells read as ⟨0, None⟩."""
+        block = self._blocks.get(address)
+        if block is None:
+            return (0, None)
+        return block.cells.get(offset, (0, None))
+
+    def write(self, address: int, offset: int, value: int, annotation: Any = None) -> None:
+        """Write a cell (whether or not it is in bounds — memcheck reports it)."""
+        block = self._blocks.get(address)
+        if block is None:
+            return
+        block.cells[offset] = (value, annotation)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"Memory({len(self._blocks)} blocks)"
+
+
+@dataclass(frozen=True)
+class BranchObservation:
+    """One element of the branch condition φ: a conditional branch outcome.
+
+    Attributes:
+        label: the label of the conditional statement.
+        taken: the concrete outcome (``True`` = condition held).
+        condition: the analysis annotation of the condition — a symbolic
+            term for the concolic interpreter (already oriented so that the
+            recorded term is true on the taken path, i.e. the paper's
+            ``⟨ℓ, B'⟩`` or ``⟨ℓ, !B'⟩``), a taint set for the taint
+            interpreter, ``None`` for the concrete interpreter.
+        sequence_index: position in program execution order.
+    """
+
+    label: int
+    taken: bool
+    condition: Any
+    sequence_index: int
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One dynamic execution of an allocation site.
+
+    Attributes:
+        site_label: label of the ``alloc`` statement.
+        site_tag: the site's ``@ "tag"`` annotation, if any.
+        requested_size: the concrete size value passed to ``alloc``.
+        size_annotation: the analysis annotation of the size (taint set or
+            symbolic term).
+        address: base address of the allocated block.
+        sequence_index: position in program execution order.
+    """
+
+    site_label: int
+    site_tag: Optional[str]
+    requested_size: int
+    size_annotation: Any
+    address: int
+    sequence_index: int

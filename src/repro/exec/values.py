@@ -1,0 +1,156 @@
+"""Machine integer arithmetic for the concrete semantics.
+
+All program variables in the benchmark application models are machine words
+of a fixed width (32 bits by default, matching the 32-bit allocation-size
+arithmetic the paper's overflows live in).  Arithmetic wraps around, exactly
+as in the hardware — which is the behaviour the target constraints must
+faithfully model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.lang.ast import BinaryOp, UnaryOp
+
+#: Default machine word width for program variables.
+WORD_WIDTH = 32
+
+
+class MachineInt:
+    """Helpers for wrap-around arithmetic at a fixed width."""
+
+    def __init__(self, width: int = WORD_WIDTH) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.sign_bit = 1 << (width - 1)
+
+    # ------------------------------------------------------------------
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to the unsigned range of this width."""
+        return value & self.mask
+
+    def to_signed(self, value: int) -> int:
+        """Interpret an unsigned value as two's complement."""
+        value = self.wrap(value)
+        return value - (1 << self.width) if value & self.sign_bit else value
+
+    # ------------------------------------------------------------------
+    def binary(self, op: BinaryOp, left: int, right: int) -> int:
+        """Apply a binary operator with machine semantics.
+
+        Comparison and boolean operators return 0/1.
+        """
+        handler = self._BINARY_HANDLERS.get(op)
+        if handler is None:
+            raise ValueError(f"unsupported binary operator {op}")
+        return handler(self, left, right)
+
+    def unary(self, op: UnaryOp, operand: int) -> int:
+        """Apply a unary operator with machine semantics."""
+        if op is UnaryOp.NEG:
+            return self.wrap(-operand)
+        if op is UnaryOp.BITNOT:
+            return self.wrap(~operand)
+        if op is UnaryOp.NOT:
+            return 0 if operand else 1
+        if op is UnaryOp.ABS:
+            signed = self.to_signed(operand)
+            return self.wrap(-signed if signed < 0 else signed)
+        raise ValueError(f"unsupported unary operator {op}")
+
+    # ------------------------------------------------------------------
+    def _add(self, a: int, b: int) -> int:
+        return self.wrap(a + b)
+
+    def _sub(self, a: int, b: int) -> int:
+        return self.wrap(a - b)
+
+    def _mul(self, a: int, b: int) -> int:
+        return self.wrap(a * b)
+
+    def _div(self, a: int, b: int) -> int:
+        # Unsigned division; division by zero yields all-ones (the same
+        # convention as the SMT substrate, so constraints stay faithful).
+        return self.mask if b == 0 else self.wrap(a // b)
+
+    def _mod(self, a: int, b: int) -> int:
+        return a if b == 0 else self.wrap(a % b)
+
+    def _shl(self, a: int, b: int) -> int:
+        return 0 if b >= self.width else self.wrap(a << b)
+
+    def _shr(self, a: int, b: int) -> int:
+        return 0 if b >= self.width else a >> b
+
+    def _bitand(self, a: int, b: int) -> int:
+        return a & b
+
+    def _bitor(self, a: int, b: int) -> int:
+        return a | b
+
+    def _bitxor(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def _eq(self, a: int, b: int) -> int:
+        return 1 if a == b else 0
+
+    def _ne(self, a: int, b: int) -> int:
+        return 1 if a != b else 0
+
+    def _lt(self, a: int, b: int) -> int:
+        return 1 if a < b else 0
+
+    def _le(self, a: int, b: int) -> int:
+        return 1 if a <= b else 0
+
+    def _gt(self, a: int, b: int) -> int:
+        return 1 if a > b else 0
+
+    def _ge(self, a: int, b: int) -> int:
+        return 1 if a >= b else 0
+
+    def _slt(self, a: int, b: int) -> int:
+        return 1 if self.to_signed(a) < self.to_signed(b) else 0
+
+    def _sle(self, a: int, b: int) -> int:
+        return 1 if self.to_signed(a) <= self.to_signed(b) else 0
+
+    def _sgt(self, a: int, b: int) -> int:
+        return 1 if self.to_signed(a) > self.to_signed(b) else 0
+
+    def _sge(self, a: int, b: int) -> int:
+        return 1 if self.to_signed(a) >= self.to_signed(b) else 0
+
+    def _and(self, a: int, b: int) -> int:
+        return 1 if (a and b) else 0
+
+    def _or(self, a: int, b: int) -> int:
+        return 1 if (a or b) else 0
+
+    _BINARY_HANDLERS: Dict[BinaryOp, Callable[["MachineInt", int, int], int]] = {
+        BinaryOp.ADD: _add,
+        BinaryOp.SUB: _sub,
+        BinaryOp.MUL: _mul,
+        BinaryOp.DIV: _div,
+        BinaryOp.MOD: _mod,
+        BinaryOp.SHL: _shl,
+        BinaryOp.SHR: _shr,
+        BinaryOp.BITAND: _bitand,
+        BinaryOp.BITOR: _bitor,
+        BinaryOp.BITXOR: _bitxor,
+        BinaryOp.EQ: _eq,
+        BinaryOp.NE: _ne,
+        BinaryOp.LT: _lt,
+        BinaryOp.LE: _le,
+        BinaryOp.GT: _gt,
+        BinaryOp.GE: _ge,
+        BinaryOp.SLT: _slt,
+        BinaryOp.SLE: _sle,
+        BinaryOp.SGT: _sgt,
+        BinaryOp.SGE: _sge,
+        BinaryOp.AND: _and,
+        BinaryOp.OR: _or,
+    }

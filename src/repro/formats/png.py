@@ -1,0 +1,122 @@
+"""A simplified PNG-like format (seed inputs for the Dillo model).
+
+The layout follows the real PNG structure closely enough that the Dillo
+application model performs the same field reads, endianness conversions and
+checksum validation as the code in the paper's Figure 2: an 8-byte
+signature, an IHDR chunk carrying big-endian width/height and a bit depth,
+an IDAT chunk with payload, and an IEND chunk.  Chunk CRCs are real CRC-32
+values recomputed by the rewriter.
+"""
+
+from __future__ import annotations
+
+from repro.formats.checksum import crc32
+from repro.formats.fields import Endianness, FieldKind, FieldSpec
+from repro.formats.spec import FormatSpec
+
+#: Byte offsets of the interesting IHDR fields (shared with the Dillo model).
+SIGNATURE_OFFSET = 0
+IHDR_LENGTH_OFFSET = 8
+IHDR_TYPE_OFFSET = 12
+WIDTH_OFFSET = 16
+HEIGHT_OFFSET = 20
+BIT_DEPTH_OFFSET = 24
+COLOR_TYPE_OFFSET = 25
+COMPRESSION_OFFSET = 26
+FILTER_OFFSET = 27
+INTERLACE_OFFSET = 28
+IHDR_CRC_OFFSET = 29
+IDAT_LENGTH_OFFSET = 33
+IDAT_TYPE_OFFSET = 37
+IDAT_DATA_OFFSET = 41
+IDAT_DATA_SIZE = 16
+IDAT_CRC_OFFSET = IDAT_DATA_OFFSET + IDAT_DATA_SIZE
+IEND_OFFSET = IDAT_CRC_OFFSET + 4
+TOTAL_SIZE = IEND_OFFSET + 12
+
+PNG_SIGNATURE = bytes([0x89, 0x50, 0x4E, 0x47, 0x0D, 0x0A, 0x1A, 0x0A])
+
+
+def _png_fields() -> list:
+    return [
+        FieldSpec("/signature", SIGNATURE_OFFSET, 8, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/ihdr/length", IHDR_LENGTH_OFFSET, 4, FieldKind.UINT, Endianness.BIG, mutable=False),
+        FieldSpec("/ihdr/type", IHDR_TYPE_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/header/width", WIDTH_OFFSET, 4, FieldKind.UINT, Endianness.BIG),
+        FieldSpec("/header/height", HEIGHT_OFFSET, 4, FieldKind.UINT, Endianness.BIG),
+        FieldSpec("/header/bit_depth", BIT_DEPTH_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/header/color_type", COLOR_TYPE_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/header/compression", COMPRESSION_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/header/filter", FILTER_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/header/interlace", INTERLACE_OFFSET, 1, FieldKind.UINT),
+        FieldSpec(
+            "/ihdr/crc",
+            IHDR_CRC_OFFSET,
+            4,
+            FieldKind.CHECKSUM,
+            Endianness.BIG,
+            covers=(IHDR_TYPE_OFFSET, 4 + 13),
+            compute=crc32,
+            mutable=False,
+        ),
+        FieldSpec("/idat/length", IDAT_LENGTH_OFFSET, 4, FieldKind.UINT, Endianness.BIG, mutable=False),
+        FieldSpec("/idat/type", IDAT_TYPE_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/idat/data", IDAT_DATA_OFFSET, IDAT_DATA_SIZE, FieldKind.BYTES),
+        FieldSpec(
+            "/idat/crc",
+            IDAT_CRC_OFFSET,
+            4,
+            FieldKind.CHECKSUM,
+            Endianness.BIG,
+            covers=(IDAT_TYPE_OFFSET, 4 + IDAT_DATA_SIZE),
+            compute=crc32,
+            mutable=False,
+        ),
+        FieldSpec("/iend/length", IEND_OFFSET, 4, FieldKind.UINT, Endianness.BIG, mutable=False),
+        FieldSpec("/iend/type", IEND_OFFSET + 4, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec(
+            "/iend/crc",
+            IEND_OFFSET + 8,
+            4,
+            FieldKind.CHECKSUM,
+            Endianness.BIG,
+            covers=(IEND_OFFSET + 4, 4),
+            compute=crc32,
+            mutable=False,
+        ),
+    ]
+
+
+#: The PNG-like format specification.
+PngFormat = FormatSpec("png", _png_fields())
+
+
+def build_png_seed(
+    width: int = 280,
+    height: int = 100,
+    bit_depth: int = 8,
+    color_type: int = 2,
+) -> bytes:
+    """Build a well-formed seed PNG the Dillo model processes without errors."""
+    data = bytearray(TOTAL_SIZE)
+    data[SIGNATURE_OFFSET : SIGNATURE_OFFSET + 8] = PNG_SIGNATURE
+    data[IHDR_LENGTH_OFFSET : IHDR_LENGTH_OFFSET + 4] = (13).to_bytes(4, "big")
+    data[IHDR_TYPE_OFFSET : IHDR_TYPE_OFFSET + 4] = b"IHDR"
+    data[WIDTH_OFFSET : WIDTH_OFFSET + 4] = width.to_bytes(4, "big")
+    data[HEIGHT_OFFSET : HEIGHT_OFFSET + 4] = height.to_bytes(4, "big")
+    data[BIT_DEPTH_OFFSET] = bit_depth
+    data[COLOR_TYPE_OFFSET] = color_type
+    data[COMPRESSION_OFFSET] = 0
+    data[FILTER_OFFSET] = 0
+    data[INTERLACE_OFFSET] = 0
+    data[IDAT_LENGTH_OFFSET : IDAT_LENGTH_OFFSET + 4] = IDAT_DATA_SIZE.to_bytes(4, "big")
+    data[IDAT_TYPE_OFFSET : IDAT_TYPE_OFFSET + 4] = b"IDAT"
+    data[IDAT_DATA_OFFSET : IDAT_DATA_OFFSET + IDAT_DATA_SIZE] = bytes(
+        (i * 7) & 0xFF for i in range(IDAT_DATA_SIZE)
+    )
+    data[IEND_OFFSET : IEND_OFFSET + 4] = (0).to_bytes(4, "big")
+    data[IEND_OFFSET + 4 : IEND_OFFSET + 8] = b"IEND"
+    # CRCs are filled in by the rewriter's fix-up pass.
+    from repro.formats.rewriter import InputRewriter
+
+    return InputRewriter(PngFormat).rewrite_bytes(bytes(data), {})

@@ -1,0 +1,98 @@
+"""A simplified SWF-with-embedded-JPEG format (seed inputs for SwfPlay).
+
+SwfPlay's overflows live in its JPEG RGB decoder (``jpeg_rgb_decoder.c``) and
+JPEG tag handler (``jpeg.c``): the image dimensions carried in a DefineBits
+JPEG tag drive several image-buffer allocations.  The layout here keeps the
+SWF container header (magic, version, file length, stage size) and a single
+embedded JPEG-ish image block with big-endian width/height and a component
+count, which is all the SwfPlay model reads.
+"""
+
+from __future__ import annotations
+
+from repro.formats.checksum import additive_checksum
+from repro.formats.fields import Endianness, FieldKind, FieldSpec
+from repro.formats.spec import FormatSpec
+
+MAGIC_OFFSET = 0
+VERSION_OFFSET = 3
+FILE_LENGTH_OFFSET = 4
+STAGE_WIDTH_OFFSET = 8
+STAGE_HEIGHT_OFFSET = 10
+TAG_CODE_OFFSET = 12
+TAG_LENGTH_OFFSET = 14
+JPEG_WIDTH_OFFSET = 18
+JPEG_HEIGHT_OFFSET = 20
+JPEG_COMPONENTS_OFFSET = 22
+JPEG_QUALITY_OFFSET = 23
+PAYLOAD_OFFSET = 24
+PAYLOAD_SIZE = 24
+CHECKSUM_OFFSET = PAYLOAD_OFFSET + PAYLOAD_SIZE
+TOTAL_SIZE = CHECKSUM_OFFSET + 4
+
+
+def _swf_fields() -> list:
+    big = Endianness.BIG
+    return [
+        FieldSpec("/header/magic", MAGIC_OFFSET, 3, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/header/version", VERSION_OFFSET, 1, FieldKind.UINT),
+        FieldSpec(
+            "/header/file_length",
+            FILE_LENGTH_OFFSET,
+            4,
+            FieldKind.LENGTH,
+            Endianness.LITTLE,
+            covers=(0, -1),
+            mutable=False,
+        ),
+        FieldSpec("/header/stage_width", STAGE_WIDTH_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/header/stage_height", STAGE_HEIGHT_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/tag/code", TAG_CODE_OFFSET, 2, FieldKind.UINT, big, mutable=False),
+        FieldSpec("/tag/length", TAG_LENGTH_OFFSET, 4, FieldKind.UINT, big, mutable=False),
+        FieldSpec("/jpeg/width", JPEG_WIDTH_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/jpeg/height", JPEG_HEIGHT_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/jpeg/components", JPEG_COMPONENTS_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/jpeg/quality", JPEG_QUALITY_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/jpeg/payload", PAYLOAD_OFFSET, PAYLOAD_SIZE, FieldKind.BYTES),
+        FieldSpec(
+            "/trailer/checksum",
+            CHECKSUM_OFFSET,
+            4,
+            FieldKind.CHECKSUM,
+            big,
+            covers=(PAYLOAD_OFFSET, PAYLOAD_SIZE),
+            compute=additive_checksum,
+            mutable=False,
+        ),
+    ]
+
+
+#: The SWF-like format specification.
+SwfFormat = FormatSpec("swf", _swf_fields())
+
+
+def build_swf_seed(
+    stage_width: int = 550,
+    stage_height: int = 400,
+    jpeg_width: int = 320,
+    jpeg_height: int = 240,
+    components: int = 3,
+) -> bytes:
+    """Build a well-formed seed SWF the SwfPlay model processes without errors."""
+    data = bytearray(TOTAL_SIZE)
+    data[MAGIC_OFFSET : MAGIC_OFFSET + 3] = b"FWS"
+    data[VERSION_OFFSET] = 6
+    data[STAGE_WIDTH_OFFSET : STAGE_WIDTH_OFFSET + 2] = stage_width.to_bytes(2, "big")
+    data[STAGE_HEIGHT_OFFSET : STAGE_HEIGHT_OFFSET + 2] = stage_height.to_bytes(2, "big")
+    data[TAG_CODE_OFFSET : TAG_CODE_OFFSET + 2] = (21).to_bytes(2, "big")  # DefineBitsJPEG2
+    data[TAG_LENGTH_OFFSET : TAG_LENGTH_OFFSET + 4] = (PAYLOAD_SIZE + 6).to_bytes(4, "big")
+    data[JPEG_WIDTH_OFFSET : JPEG_WIDTH_OFFSET + 2] = jpeg_width.to_bytes(2, "big")
+    data[JPEG_HEIGHT_OFFSET : JPEG_HEIGHT_OFFSET + 2] = jpeg_height.to_bytes(2, "big")
+    data[JPEG_COMPONENTS_OFFSET] = components
+    data[JPEG_QUALITY_OFFSET] = 85
+    data[PAYLOAD_OFFSET : PAYLOAD_OFFSET + PAYLOAD_SIZE] = bytes(
+        (i * 5) & 0xFF for i in range(PAYLOAD_SIZE)
+    )
+    from repro.formats.rewriter import InputRewriter
+
+    return InputRewriter(SwfFormat).rewrite_bytes(bytes(data), {})

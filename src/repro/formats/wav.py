@@ -1,0 +1,112 @@
+"""A simplified RIFF/WAV-like format (seed inputs for the VLC model).
+
+The layout mirrors the parts of a WAV file the VLC 0.8.6h demuxer reads on
+the paths the paper reports overflows in: the RIFF header, the ``fmt `` chunk
+(channels, sample rate, block align, bits per sample), an extra-data size
+field (the ``x + 2`` allocation of CVE-2008-2430 in ``wav.c``), and a
+``data`` chunk whose frame count / frame size fields drive the decoder and
+message buffers (``dec.c``, ``block.c``, ``messages.c``).
+"""
+
+from __future__ import annotations
+
+from repro.formats.fields import Endianness, FieldKind, FieldSpec
+from repro.formats.spec import FormatSpec
+
+RIFF_MAGIC_OFFSET = 0
+RIFF_SIZE_OFFSET = 4
+WAVE_MAGIC_OFFSET = 8
+FMT_MAGIC_OFFSET = 12
+FMT_SIZE_OFFSET = 16
+AUDIO_FORMAT_OFFSET = 20
+CHANNELS_OFFSET = 22
+SAMPLE_RATE_OFFSET = 24
+BYTE_RATE_OFFSET = 28
+BLOCK_ALIGN_OFFSET = 32
+BITS_PER_SAMPLE_OFFSET = 34
+EXTRA_SIZE_OFFSET = 36
+DATA_MAGIC_OFFSET = 40
+DATA_SIZE_OFFSET = 44
+FRAME_COUNT_OFFSET = 48
+FRAME_SIZE_OFFSET = 52
+ES_NAME_LENGTH_OFFSET = 56
+PAYLOAD_OFFSET = 60
+PAYLOAD_SIZE = 20
+TOTAL_SIZE = PAYLOAD_OFFSET + PAYLOAD_SIZE
+
+
+def _wav_fields() -> list:
+    little = Endianness.LITTLE
+    return [
+        FieldSpec("/riff/magic", RIFF_MAGIC_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec(
+            "/riff/size",
+            RIFF_SIZE_OFFSET,
+            4,
+            FieldKind.LENGTH,
+            little,
+            covers=(WAVE_MAGIC_OFFSET, -1),
+            mutable=False,
+        ),
+        FieldSpec("/riff/wave", WAVE_MAGIC_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/fmt/magic", FMT_MAGIC_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/fmt/size", FMT_SIZE_OFFSET, 4, FieldKind.UINT, little, mutable=False),
+        FieldSpec("/fmt/audio_format", AUDIO_FORMAT_OFFSET, 2, FieldKind.UINT, little),
+        FieldSpec("/fmt/channels", CHANNELS_OFFSET, 2, FieldKind.UINT, little),
+        FieldSpec("/fmt/sample_rate", SAMPLE_RATE_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/fmt/byte_rate", BYTE_RATE_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/fmt/block_align", BLOCK_ALIGN_OFFSET, 2, FieldKind.UINT, little),
+        FieldSpec("/fmt/bits_per_sample", BITS_PER_SAMPLE_OFFSET, 2, FieldKind.UINT, little),
+        FieldSpec("/fmt/extra_size", EXTRA_SIZE_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/data/magic", DATA_MAGIC_OFFSET, 4, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/data/size", DATA_SIZE_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/data/frame_count", FRAME_COUNT_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/data/frame_size", FRAME_SIZE_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/data/es_name_length", ES_NAME_LENGTH_OFFSET, 4, FieldKind.UINT, little),
+        FieldSpec("/data/payload", PAYLOAD_OFFSET, PAYLOAD_SIZE, FieldKind.BYTES),
+    ]
+
+
+#: The WAV-like format specification.
+WavFormat = FormatSpec("wav", _wav_fields())
+
+
+def build_wav_seed(
+    channels: int = 2,
+    sample_rate: int = 44100,
+    bits_per_sample: int = 16,
+    extra_size: int = 8,
+    frame_count: int = 4,
+    frame_size: int = 64,
+    es_name_length: int = 12,
+) -> bytes:
+    """Build a well-formed seed WAV the VLC model processes without errors."""
+    data = bytearray(TOTAL_SIZE)
+    data[RIFF_MAGIC_OFFSET : RIFF_MAGIC_OFFSET + 4] = b"RIFF"
+    data[WAVE_MAGIC_OFFSET : WAVE_MAGIC_OFFSET + 4] = b"WAVE"
+    data[FMT_MAGIC_OFFSET : FMT_MAGIC_OFFSET + 4] = b"fmt "
+    data[FMT_SIZE_OFFSET : FMT_SIZE_OFFSET + 4] = (20).to_bytes(4, "little")
+    data[AUDIO_FORMAT_OFFSET : AUDIO_FORMAT_OFFSET + 2] = (1).to_bytes(2, "little")
+    data[CHANNELS_OFFSET : CHANNELS_OFFSET + 2] = channels.to_bytes(2, "little")
+    data[SAMPLE_RATE_OFFSET : SAMPLE_RATE_OFFSET + 4] = sample_rate.to_bytes(4, "little")
+    byte_rate = sample_rate * channels * (bits_per_sample // 8)
+    data[BYTE_RATE_OFFSET : BYTE_RATE_OFFSET + 4] = byte_rate.to_bytes(4, "little")
+    block_align = channels * (bits_per_sample // 8)
+    data[BLOCK_ALIGN_OFFSET : BLOCK_ALIGN_OFFSET + 2] = block_align.to_bytes(2, "little")
+    data[BITS_PER_SAMPLE_OFFSET : BITS_PER_SAMPLE_OFFSET + 2] = bits_per_sample.to_bytes(
+        2, "little"
+    )
+    data[EXTRA_SIZE_OFFSET : EXTRA_SIZE_OFFSET + 4] = extra_size.to_bytes(4, "little")
+    data[DATA_MAGIC_OFFSET : DATA_MAGIC_OFFSET + 4] = b"data"
+    data[DATA_SIZE_OFFSET : DATA_SIZE_OFFSET + 4] = PAYLOAD_SIZE.to_bytes(4, "little")
+    data[FRAME_COUNT_OFFSET : FRAME_COUNT_OFFSET + 4] = frame_count.to_bytes(4, "little")
+    data[FRAME_SIZE_OFFSET : FRAME_SIZE_OFFSET + 4] = frame_size.to_bytes(4, "little")
+    data[ES_NAME_LENGTH_OFFSET : ES_NAME_LENGTH_OFFSET + 4] = es_name_length.to_bytes(
+        4, "little"
+    )
+    data[PAYLOAD_OFFSET : PAYLOAD_OFFSET + PAYLOAD_SIZE] = bytes(
+        (i * 3) & 0xFF for i in range(PAYLOAD_SIZE)
+    )
+    from repro.formats.rewriter import InputRewriter
+
+    return InputRewriter(WavFormat).rewrite_bytes(bytes(data), {})

@@ -1,0 +1,77 @@
+"""A simplified JPEG-source format for the CWebP model.
+
+``cwebp`` converts JPEG/PNG sources to WebP; the paper's overflow is in its
+JPEG decoder (``jpegdec.c@248``), where the source image dimensions drive the
+RGB buffer allocation.  The layout here is a minimal JPEG-like file: SOI
+marker, a start-of-frame segment with precision/height/width/components, a
+scan payload and an end marker.
+"""
+
+from __future__ import annotations
+
+from repro.formats.fields import Endianness, FieldKind, FieldSpec
+from repro.formats.spec import FormatSpec
+
+SOI_OFFSET = 0
+SOF_MARKER_OFFSET = 2
+SOF_LENGTH_OFFSET = 4
+PRECISION_OFFSET = 6
+HEIGHT_OFFSET = 7
+WIDTH_OFFSET = 9
+COMPONENTS_OFFSET = 11
+SAMPLING_OFFSET = 12
+QUALITY_OFFSET = 13
+SCAN_LENGTH_OFFSET = 14
+PAYLOAD_OFFSET = 18
+PAYLOAD_SIZE = 24
+EOI_OFFSET = PAYLOAD_OFFSET + PAYLOAD_SIZE
+TOTAL_SIZE = EOI_OFFSET + 2
+
+
+def _webp_fields() -> list:
+    big = Endianness.BIG
+    return [
+        FieldSpec("/soi", SOI_OFFSET, 2, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/sof/marker", SOF_MARKER_OFFSET, 2, FieldKind.MAGIC, mutable=False),
+        FieldSpec("/sof/length", SOF_LENGTH_OFFSET, 2, FieldKind.UINT, big, mutable=False),
+        FieldSpec("/sof/precision", PRECISION_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/sof/height", HEIGHT_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/sof/width", WIDTH_OFFSET, 2, FieldKind.UINT, big),
+        FieldSpec("/sof/components", COMPONENTS_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/sof/sampling", SAMPLING_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/sof/quality", QUALITY_OFFSET, 1, FieldKind.UINT),
+        FieldSpec("/scan/length", SCAN_LENGTH_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/scan/payload", PAYLOAD_OFFSET, PAYLOAD_SIZE, FieldKind.BYTES),
+        FieldSpec("/eoi", EOI_OFFSET, 2, FieldKind.MAGIC, mutable=False),
+    ]
+
+
+#: The JPEG-source format specification used by the CWebP model.
+WebpFormat = FormatSpec("webp_jpeg_source", _webp_fields())
+
+
+def build_webp_seed(
+    width: int = 160,
+    height: int = 120,
+    components: int = 3,
+    precision: int = 8,
+) -> bytes:
+    """Build a well-formed seed JPEG the CWebP model processes without errors."""
+    data = bytearray(TOTAL_SIZE)
+    data[SOI_OFFSET : SOI_OFFSET + 2] = bytes([0xFF, 0xD8])
+    data[SOF_MARKER_OFFSET : SOF_MARKER_OFFSET + 2] = bytes([0xFF, 0xC0])
+    data[SOF_LENGTH_OFFSET : SOF_LENGTH_OFFSET + 2] = (11).to_bytes(2, "big")
+    data[PRECISION_OFFSET] = precision
+    data[HEIGHT_OFFSET : HEIGHT_OFFSET + 2] = height.to_bytes(2, "big")
+    data[WIDTH_OFFSET : WIDTH_OFFSET + 2] = width.to_bytes(2, "big")
+    data[COMPONENTS_OFFSET] = components
+    data[SAMPLING_OFFSET] = 0x22
+    data[QUALITY_OFFSET] = 90
+    data[SCAN_LENGTH_OFFSET : SCAN_LENGTH_OFFSET + 4] = PAYLOAD_SIZE.to_bytes(4, "big")
+    data[PAYLOAD_OFFSET : PAYLOAD_OFFSET + PAYLOAD_SIZE] = bytes(
+        (i * 11) & 0xFF for i in range(PAYLOAD_SIZE)
+    )
+    data[EOI_OFFSET : EOI_OFFSET + 2] = bytes([0xFF, 0xD9])
+    from repro.formats.rewriter import InputRewriter
+
+    return InputRewriter(WebpFormat).rewrite_bytes(bytes(data), {})

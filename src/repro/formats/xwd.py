@@ -1,0 +1,104 @@
+"""A simplified XWD-like dump format (seed inputs for the ImageMagick model).
+
+The ImageMagick 6.5.2 overflows the paper reports live in its X-window
+handling (``xwindow.c``), pixel cache (``cache.c``) and display pipeline
+(``display.c``); all are driven by image geometry fields.  The layout here is
+an XWD-style header of big-endian 32-bit fields (header size, pixmap
+geometry, bits per pixel, bytes per line, colormap entries) followed by a
+colormap and pixel payload.
+"""
+
+from __future__ import annotations
+
+from repro.formats.fields import Endianness, FieldKind, FieldSpec
+from repro.formats.spec import FormatSpec
+
+HEADER_SIZE_OFFSET = 0
+FILE_VERSION_OFFSET = 4
+PIXMAP_FORMAT_OFFSET = 8
+PIXMAP_DEPTH_OFFSET = 12
+PIXMAP_WIDTH_OFFSET = 16
+PIXMAP_HEIGHT_OFFSET = 20
+XOFFSET_OFFSET = 24
+BYTE_ORDER_OFFSET = 28
+BITMAP_UNIT_OFFSET = 32
+BITMAP_PAD_OFFSET = 36
+BITS_PER_PIXEL_OFFSET = 40
+BYTES_PER_LINE_OFFSET = 44
+VISUAL_CLASS_OFFSET = 48
+COLORMAP_ENTRIES_OFFSET = 52
+NCOLORS_OFFSET = 56
+WINDOW_WIDTH_OFFSET = 60
+WINDOW_HEIGHT_OFFSET = 64
+COLORMAP_OFFSET = 68
+COLORMAP_SIZE = 24
+PAYLOAD_OFFSET = COLORMAP_OFFSET + COLORMAP_SIZE
+PAYLOAD_SIZE = 32
+TOTAL_SIZE = PAYLOAD_OFFSET + PAYLOAD_SIZE
+
+
+def _xwd_fields() -> list:
+    big = Endianness.BIG
+    return [
+        FieldSpec("/header/header_size", HEADER_SIZE_OFFSET, 4, FieldKind.UINT, big, mutable=False),
+        FieldSpec("/header/file_version", FILE_VERSION_OFFSET, 4, FieldKind.UINT, big, mutable=False),
+        FieldSpec("/header/pixmap_format", PIXMAP_FORMAT_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/pixmap_depth", PIXMAP_DEPTH_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/pixmap_width", PIXMAP_WIDTH_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/pixmap_height", PIXMAP_HEIGHT_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/xoffset", XOFFSET_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/byte_order", BYTE_ORDER_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/bitmap_unit", BITMAP_UNIT_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/bitmap_pad", BITMAP_PAD_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/bits_per_pixel", BITS_PER_PIXEL_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/bytes_per_line", BYTES_PER_LINE_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/visual_class", VISUAL_CLASS_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/colormap_entries", COLORMAP_ENTRIES_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/ncolors", NCOLORS_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/window_width", WINDOW_WIDTH_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/header/window_height", WINDOW_HEIGHT_OFFSET, 4, FieldKind.UINT, big),
+        FieldSpec("/colormap", COLORMAP_OFFSET, COLORMAP_SIZE, FieldKind.BYTES),
+        FieldSpec("/pixels", PAYLOAD_OFFSET, PAYLOAD_SIZE, FieldKind.BYTES),
+    ]
+
+
+#: The XWD-like format specification.
+XwdFormat = FormatSpec("xwd", _xwd_fields())
+
+
+def build_xwd_seed(
+    width: int = 64,
+    height: int = 48,
+    bits_per_pixel: int = 24,
+    ncolors: int = 4,
+) -> bytes:
+    """Build a well-formed seed XWD the ImageMagick model processes without errors."""
+    data = bytearray(TOTAL_SIZE)
+
+    def put(offset: int, value: int) -> None:
+        data[offset : offset + 4] = value.to_bytes(4, "big")
+
+    put(HEADER_SIZE_OFFSET, COLORMAP_OFFSET)
+    put(FILE_VERSION_OFFSET, 7)
+    put(PIXMAP_FORMAT_OFFSET, 2)
+    put(PIXMAP_DEPTH_OFFSET, 24)
+    put(PIXMAP_WIDTH_OFFSET, width)
+    put(PIXMAP_HEIGHT_OFFSET, height)
+    put(XOFFSET_OFFSET, 0)
+    put(BYTE_ORDER_OFFSET, 1)
+    put(BITMAP_UNIT_OFFSET, 32)
+    put(BITMAP_PAD_OFFSET, 32)
+    put(BITS_PER_PIXEL_OFFSET, bits_per_pixel)
+    put(BYTES_PER_LINE_OFFSET, (width * bits_per_pixel + 7) // 8)
+    put(VISUAL_CLASS_OFFSET, 5)
+    put(COLORMAP_ENTRIES_OFFSET, ncolors)
+    put(NCOLORS_OFFSET, ncolors)
+    put(WINDOW_WIDTH_OFFSET, width)
+    put(WINDOW_HEIGHT_OFFSET, height)
+    data[COLORMAP_OFFSET : COLORMAP_OFFSET + COLORMAP_SIZE] = bytes(
+        (i * 13) & 0xFF for i in range(COLORMAP_SIZE)
+    )
+    data[PAYLOAD_OFFSET : PAYLOAD_OFFSET + PAYLOAD_SIZE] = bytes(
+        (i * 17) & 0xFF for i in range(PAYLOAD_SIZE)
+    )
+    return bytes(data)

@@ -1,0 +1,80 @@
+"""The core imperative language of the paper (Figure 3) plus a small surface DSL.
+
+The benchmark application models (:mod:`repro.apps`) are written in a C-like
+surface language with procedures and constants.  :mod:`repro.lang.lowering`
+inlines procedures and desugars the surface forms down to the core language
+of the paper: assignments, ``alloc``, memory loads/stores, ``if``, ``while``
+and sequencing, each statement carrying a unique label.  The interpreters in
+:mod:`repro.exec` implement the paper's small-step semantics over that core.
+"""
+
+from repro.lang.ast import (
+    BinaryExpr,
+    BinaryOp,
+    UnaryExpr,
+    UnaryOp,
+    ConstExpr,
+    VarExpr,
+    InputByteExpr,
+    InputSizeExpr,
+    LoadExpr,
+    CallExpr,
+    Expr,
+    Stmt,
+    SkipStmt,
+    AssignStmt,
+    AllocStmt,
+    StoreStmt,
+    IfStmt,
+    WhileStmt,
+    SeqStmt,
+    HaltStmt,
+    WarnStmt,
+    CallStmt,
+    ReturnStmt,
+    ProcDef,
+    SourceLocation,
+)
+from repro.lang.lexer import Lexer, Token, TokenKind, LexError
+from repro.lang.parser import Parser, ParseError, parse_program
+from repro.lang.lowering import LoweringError, lower_program
+from repro.lang.program import Program, ProgramError
+
+__all__ = [
+    "BinaryExpr",
+    "BinaryOp",
+    "UnaryExpr",
+    "UnaryOp",
+    "ConstExpr",
+    "VarExpr",
+    "InputByteExpr",
+    "InputSizeExpr",
+    "LoadExpr",
+    "CallExpr",
+    "Expr",
+    "Stmt",
+    "SkipStmt",
+    "AssignStmt",
+    "AllocStmt",
+    "StoreStmt",
+    "IfStmt",
+    "WhileStmt",
+    "SeqStmt",
+    "HaltStmt",
+    "WarnStmt",
+    "CallStmt",
+    "ReturnStmt",
+    "ProcDef",
+    "SourceLocation",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse_program",
+    "LoweringError",
+    "lower_program",
+    "Program",
+    "ProgramError",
+]

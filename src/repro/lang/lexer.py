@@ -1,0 +1,234 @@
+"""Tokenizer for the surface DSL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.lang.ast import SourceLocation
+
+
+class LexError(SyntaxError):
+    """Raised on invalid input characters or malformed literals."""
+
+
+class TokenKind(enum.Enum):
+    """Token categories produced by :class:`Lexer`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "proc",
+        "const",
+        "if",
+        "else",
+        "while",
+        "skip",
+        "alloc",
+        "halt",
+        "warn",
+        "return",
+        "input",
+        "input_size",
+        "abs",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character punctuation, longest first so the scanner is greedy.
+PUNCTUATION = [
+    "<=s",
+    ">=s",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<s",
+    ">s",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "@",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source location."""
+
+    kind: TokenKind
+    text: str
+    value: Optional[int] = None
+    loc: SourceLocation = SourceLocation()
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+class Lexer:
+    """Convert DSL source text into a token list."""
+
+    def __init__(self, source: str, filename: str = "<dsl>") -> None:
+        self.source = source
+        self.filename = filename
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole input (including a trailing EOF token)."""
+        return list(self._iter_tokens())
+
+    # ------------------------------------------------------------------
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.position >= len(self.source):
+                yield Token(TokenKind.EOF, "", loc=self._loc())
+                return
+            yield self._next_token()
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.source) and self.source[self.position] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.position += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.source):
+            char = self.source[self.position]
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "#" or self.source.startswith("//", self.position):
+                while (
+                    self.position < len(self.source)
+                    and self.source[self.position] != "\n"
+                ):
+                    self._advance()
+                continue
+            if self.source.startswith("/*", self.position):
+                end = self.source.find("*/", self.position + 2)
+                if end < 0:
+                    raise LexError(f"{self._loc()}: unterminated block comment")
+                while self.position < end + 2:
+                    self._advance()
+                continue
+            break
+
+    def _next_token(self) -> Token:
+        loc = self._loc()
+        char = self.source[self.position]
+
+        if char.isdigit():
+            return self._number(loc)
+        if char.isalpha() or char == "_":
+            return self._identifier(loc)
+        if char == '"':
+            return self._string(loc)
+        for punct in PUNCTUATION:
+            if self.source.startswith(punct, self.position):
+                # "<s" / "<=s" must not swallow the start of an identifier
+                # like "size"; only treat the trailing "s" as part of the
+                # operator when it is not followed by an identifier char.
+                if punct.endswith("s"):
+                    after = self.position + len(punct)
+                    if after < len(self.source) and (
+                        self.source[after].isalnum() or self.source[after] == "_"
+                    ):
+                        continue
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, loc=loc)
+        raise LexError(f"{loc}: unexpected character {char!r}")
+
+    def _number(self, loc: SourceLocation) -> Token:
+        start = self.position
+        if self.source.startswith(("0x", "0X"), self.position):
+            self._advance(2)
+            while self.position < len(self.source) and (
+                self.source[self.position] in "0123456789abcdefABCDEF_"
+            ):
+                self._advance()
+            text = self.source[start : self.position]
+            return Token(TokenKind.NUMBER, text, value=int(text.replace("_", ""), 16), loc=loc)
+        while self.position < len(self.source) and (
+            self.source[self.position].isdigit() or self.source[self.position] == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.position]
+        return Token(TokenKind.NUMBER, text, value=int(text.replace("_", "")), loc=loc)
+
+    def _identifier(self, loc: SourceLocation) -> Token:
+        start = self.position
+        while self.position < len(self.source) and (
+            self.source[self.position].isalnum() or self.source[self.position] == "_"
+        ):
+            self._advance()
+        text = self.source[start : self.position]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc=loc)
+
+    def _string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise LexError(f"{loc}: unterminated string literal")
+            char = self.source[self.position]
+            if char == '"':
+                self._advance()
+                break
+            if char == "\\":
+                self._advance()
+                if self.position >= len(self.source):
+                    raise LexError(f"{loc}: unterminated escape sequence")
+                escape = self.source[self.position]
+                chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                self._advance()
+                continue
+            chars.append(char)
+            self._advance()
+        return Token(TokenKind.STRING, "".join(chars), loc=loc)

@@ -1,0 +1,360 @@
+"""Lowering from the surface DSL to the paper's core language.
+
+The surface language allows procedures, calls in expression and statement
+position, and ``return`` statements.  The core language of the paper
+(Figure 3) has none of these, so lowering:
+
+1. **Inlines every call** with per-call-site variable renaming (so a
+   procedure used twice yields two independent sets of locals) and a depth
+   limit that rejects recursion.
+2. **Rewrites calls in expression position** into a temporary variable
+   assignment placed before the enclosing statement.  Calls are not allowed
+   inside ``while`` conditions (the condition would need re-evaluation on
+   every iteration); application models hoist such calls manually.
+3. **Handles ``return``** by assigning the return value to the call-site's
+   result variable.  A ``return`` that is not the last statement of a branch
+   of the procedure body is rejected — early exits in the middle of a block
+   would require control-flow flattening that the core language cannot
+   express without extra guard branches, which would distort the relevant
+   branch counts DIODE reasons about.
+4. **Assigns a unique integer label** to every core statement, in a stable
+   pre-order, so branch identity (compression / enforcement) is
+   deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    AllocStmt,
+    AssignStmt,
+    BinaryExpr,
+    CallExpr,
+    CallStmt,
+    ConstExpr,
+    Expr,
+    HaltStmt,
+    IfStmt,
+    InputByteExpr,
+    InputSizeExpr,
+    LoadExpr,
+    ProcDef,
+    ReturnStmt,
+    SeqStmt,
+    SkipStmt,
+    SourceLocation,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+    WarnStmt,
+    WhileStmt,
+)
+from repro.lang.parser import ParsedUnit
+
+
+class LoweringError(ValueError):
+    """Raised when a surface program cannot be lowered to the core language."""
+
+
+MAX_INLINE_DEPTH = 32
+
+
+@dataclass
+class _LoweringContext:
+    """State shared across one lowering run."""
+
+    procedures: Dict[str, ProcDef]
+    temp_counter: int = 0
+    inline_counter: int = 0
+
+    def fresh_temp(self) -> str:
+        self.temp_counter += 1
+        return f"__t{self.temp_counter}"
+
+    def fresh_inline_prefix(self, name: str) -> str:
+        self.inline_counter += 1
+        return f"__{name}_{self.inline_counter}"
+
+
+def lower_program(unit: ParsedUnit, entry: str = "main") -> SeqStmt:
+    """Lower a parsed unit into a labelled core-language statement sequence."""
+    if entry not in unit.procedures:
+        raise LoweringError(f"entry procedure {entry!r} is not defined")
+    entry_proc = unit.procedures[entry]
+    if entry_proc.parameters:
+        raise LoweringError(f"entry procedure {entry!r} must take no parameters")
+    context = _LoweringContext(procedures=dict(unit.procedures))
+    lowered = _lower_block(entry_proc.body, context, rename={}, depth=0, result_var=None)
+    _assign_labels(lowered)
+    return lowered
+
+
+# ----------------------------------------------------------------------
+# Statement lowering
+# ----------------------------------------------------------------------
+def _lower_block(
+    block: SeqStmt,
+    context: _LoweringContext,
+    rename: Dict[str, str],
+    depth: int,
+    result_var: Optional[str],
+) -> SeqStmt:
+    statements: List[Stmt] = []
+    for index, statement in enumerate(block.statements):
+        is_last = index == len(block.statements) - 1
+        statements.extend(
+            _lower_statement(statement, context, rename, depth, result_var, is_last)
+        )
+    return SeqStmt(statements=statements, loc=block.loc)
+
+
+def _lower_statement(
+    statement: Stmt,
+    context: _LoweringContext,
+    rename: Dict[str, str],
+    depth: int,
+    result_var: Optional[str],
+    is_last: bool,
+) -> List[Stmt]:
+    if isinstance(statement, SkipStmt):
+        return [SkipStmt(loc=statement.loc, tag=statement.tag)]
+
+    if isinstance(statement, (HaltStmt, WarnStmt)):
+        cls = type(statement)
+        return [cls(message=statement.message, loc=statement.loc, tag=statement.tag)]
+
+    if isinstance(statement, AssignStmt):
+        prelude, value = _lower_expression(statement.value, context, rename, depth)
+        return prelude + [
+            AssignStmt(
+                target=_rename(statement.target, rename),
+                value=value,
+                loc=statement.loc,
+                tag=statement.tag,
+            )
+        ]
+
+    if isinstance(statement, AllocStmt):
+        prelude, size = _lower_expression(statement.size, context, rename, depth)
+        return prelude + [
+            AllocStmt(
+                target=_rename(statement.target, rename),
+                size=size,
+                loc=statement.loc,
+                tag=statement.tag,
+            )
+        ]
+
+    if isinstance(statement, StoreStmt):
+        prelude_offset, offset = _lower_expression(statement.offset, context, rename, depth)
+        prelude_value, value = _lower_expression(statement.value, context, rename, depth)
+        return prelude_offset + prelude_value + [
+            StoreStmt(
+                base=_rename(statement.base, rename),
+                offset=offset,
+                value=value,
+                loc=statement.loc,
+                tag=statement.tag,
+            )
+        ]
+
+    if isinstance(statement, IfStmt):
+        prelude, condition = _lower_expression(statement.condition, context, rename, depth)
+        then_body = _lower_block(statement.then_body, context, rename, depth, result_var)
+        else_body = _lower_block(statement.else_body, context, rename, depth, result_var)
+        return prelude + [
+            IfStmt(
+                condition=condition,
+                then_body=then_body,
+                else_body=else_body,
+                loc=statement.loc,
+                tag=statement.tag,
+            )
+        ]
+
+    if isinstance(statement, WhileStmt):
+        prelude, condition = _lower_expression(statement.condition, context, rename, depth)
+        if prelude:
+            raise LoweringError(
+                f"{statement.loc}: procedure calls are not allowed in while conditions"
+            )
+        body = _lower_block(statement.body, context, rename, depth, result_var)
+        return [
+            WhileStmt(
+                condition=condition,
+                body=body,
+                loc=statement.loc,
+                tag=statement.tag,
+            )
+        ]
+
+    if isinstance(statement, CallStmt):
+        return _inline_call(
+            statement.callee,
+            list(statement.arguments),
+            context,
+            rename,
+            depth,
+            result_var=None,
+            loc=statement.loc,
+        )
+
+    if isinstance(statement, ReturnStmt):
+        if result_var is None and statement.value is not None:
+            raise LoweringError(
+                f"{statement.loc}: 'return <value>' outside of a value-returning call"
+            )
+        if not is_last:
+            raise LoweringError(
+                f"{statement.loc}: 'return' must be the last statement of its block"
+            )
+        if statement.value is None:
+            return [SkipStmt(loc=statement.loc)]
+        prelude, value = _lower_expression(statement.value, context, rename, depth)
+        if result_var is None:
+            return prelude + [SkipStmt(loc=statement.loc)]
+        return prelude + [
+            AssignStmt(target=result_var, value=value, loc=statement.loc)
+        ]
+
+    raise LoweringError(f"cannot lower statement of type {type(statement).__name__}")
+
+
+def _inline_call(
+    callee: str,
+    arguments: List[Expr],
+    context: _LoweringContext,
+    rename: Dict[str, str],
+    depth: int,
+    result_var: Optional[str],
+    loc: SourceLocation,
+) -> List[Stmt]:
+    if depth >= MAX_INLINE_DEPTH:
+        raise LoweringError(f"{loc}: call depth exceeds {MAX_INLINE_DEPTH} (recursion?)")
+    procedure = context.procedures.get(callee)
+    if procedure is None:
+        raise LoweringError(f"{loc}: call to undefined procedure {callee!r}")
+    if len(arguments) != len(procedure.parameters):
+        raise LoweringError(
+            f"{loc}: {callee!r} expects {len(procedure.parameters)} argument(s), "
+            f"got {len(arguments)}"
+        )
+    prefix = context.fresh_inline_prefix(callee)
+    callee_rename: Dict[str, str] = {}
+    statements: List[Stmt] = []
+
+    for parameter, argument in zip(procedure.parameters, arguments):
+        prelude, lowered_argument = _lower_expression(argument, context, rename, depth)
+        statements.extend(prelude)
+        local_name = f"{prefix}_{parameter}"
+        callee_rename[parameter] = local_name
+        statements.append(
+            AssignStmt(target=local_name, value=lowered_argument, loc=loc)
+        )
+
+    # Locals of the callee that are not parameters also get the prefix: the
+    # rename map is populated lazily by `_rename` via `default_prefix`.
+    body = _lower_block(
+        procedure.body,
+        context,
+        rename=_PrefixedRename(callee_rename, prefix),
+        depth=depth + 1,
+        result_var=result_var,
+    )
+    statements.extend(body.statements)
+    return statements
+
+
+class _PrefixedRename(dict):
+    """Rename map that lazily prefixes unknown names (callee locals)."""
+
+    def __init__(self, initial: Dict[str, str], prefix: str) -> None:
+        super().__init__(initial)
+        self._prefix = prefix
+
+    def __missing__(self, key: str) -> str:
+        value = f"{self._prefix}_{key}"
+        self[key] = value
+        return value
+
+
+def _rename(name: str, rename: Dict[str, str]) -> str:
+    if isinstance(rename, _PrefixedRename):
+        return rename[name]
+    return rename.get(name, name)
+
+
+# ----------------------------------------------------------------------
+# Expression lowering
+# ----------------------------------------------------------------------
+def _lower_expression(
+    expr: Expr,
+    context: _LoweringContext,
+    rename: Dict[str, str],
+    depth: int,
+) -> Tuple[List[Stmt], Expr]:
+    """Lower an expression; returns (prelude statements, pure expression)."""
+    if isinstance(expr, ConstExpr):
+        return [], expr
+    if isinstance(expr, VarExpr):
+        return [], VarExpr(name=_rename(expr.name, rename), loc=expr.loc)
+    if isinstance(expr, InputSizeExpr):
+        return [], expr
+    if isinstance(expr, InputByteExpr):
+        prelude, offset = _lower_expression(expr.offset, context, rename, depth)
+        return prelude, InputByteExpr(offset=offset, loc=expr.loc)
+    if isinstance(expr, LoadExpr):
+        prelude, offset = _lower_expression(expr.offset, context, rename, depth)
+        return prelude, LoadExpr(
+            base=_rename(expr.base, rename), offset=offset, loc=expr.loc
+        )
+    if isinstance(expr, UnaryExpr):
+        prelude, operand = _lower_expression(expr.operand, context, rename, depth)
+        return prelude, UnaryExpr(op=expr.op, operand=operand, loc=expr.loc)
+    if isinstance(expr, BinaryExpr):
+        left_prelude, left = _lower_expression(expr.left, context, rename, depth)
+        right_prelude, right = _lower_expression(expr.right, context, rename, depth)
+        return left_prelude + right_prelude, BinaryExpr(
+            op=expr.op, left=left, right=right, loc=expr.loc
+        )
+    if isinstance(expr, CallExpr):
+        result_var = context.fresh_temp()
+        statements = [AssignStmt(target=result_var, value=ConstExpr(0), loc=expr.loc)]
+        statements.extend(
+            _inline_call(
+                expr.callee,
+                list(expr.arguments),
+                context,
+                rename,
+                depth,
+                result_var=result_var,
+                loc=expr.loc,
+            )
+        )
+        return statements, VarExpr(name=result_var, loc=expr.loc)
+    raise LoweringError(f"cannot lower expression of type {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Label assignment
+# ----------------------------------------------------------------------
+def _assign_labels(root: SeqStmt) -> None:
+    counter = 0
+
+    def visit(statement: Stmt) -> None:
+        nonlocal counter
+        statement.label = counter
+        counter += 1
+        if isinstance(statement, SeqStmt):
+            for child in statement.statements:
+                visit(child)
+        elif isinstance(statement, IfStmt):
+            visit(statement.then_body)
+            visit(statement.else_body)
+        elif isinstance(statement, WhileStmt):
+            visit(statement.body)
+
+    visit(root)

@@ -1,0 +1,527 @@
+"""Recursive-descent parser for the surface DSL.
+
+Grammar (informal)::
+
+    unit        := (constdef | procdef)* procdef*
+    constdef    := "const" IDENT "=" expr ";"
+    procdef     := "proc" IDENT "(" params? ")" block
+    params      := IDENT ("," IDENT)*
+    block       := "{" stmt* "}"
+    stmt        := "skip" ";"
+                 | "halt" STRING? ";"
+                 | "warn" STRING? ";"
+                 | "return" expr? ";"
+                 | "if" "(" expr ")" block ("else" (block | ifstmt))?
+                 | "while" "(" expr ")" block
+                 | IDENT "=" "alloc" "(" expr ")" tag? ";"
+                 | IDENT "=" expr tag? ";"
+                 | IDENT "[" expr "]" "=" expr ";"
+                 | IDENT "(" args ")" ";"                 # call statement
+    tag         := "@" STRING
+    expr        := ternary-free C-like precedence:
+                   "||" < "&&" < compare < "|" < "^" < "&" < shift < add < mul < unary
+    primary     := NUMBER | IDENT | IDENT "(" args ")" | IDENT "[" expr "]"
+                 | "input" "(" expr ")" | "input_size" | "abs" "(" expr ")"
+                 | "true" | "false" | "(" expr ")"
+
+The program entry point is the procedure named ``main``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    AllocStmt,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    CallExpr,
+    CallStmt,
+    ConstExpr,
+    Expr,
+    HaltStmt,
+    IfStmt,
+    InputByteExpr,
+    InputSizeExpr,
+    LoadExpr,
+    ProcDef,
+    ReturnStmt,
+    SeqStmt,
+    SkipStmt,
+    SourceLocation,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    UnaryOp,
+    VarExpr,
+    WarnStmt,
+    WhileStmt,
+)
+from repro.lang.lexer import Lexer, Token, TokenKind
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed DSL source."""
+
+
+class ParsedUnit:
+    """The result of parsing: constants and procedure definitions."""
+
+    def __init__(
+        self, constants: Dict[str, int], procedures: Dict[str, ProcDef]
+    ) -> None:
+        self.constants = constants
+        self.procedures = procedures
+
+    def __repr__(self) -> str:
+        return (
+            f"ParsedUnit(constants={sorted(self.constants)}, "
+            f"procedures={sorted(self.procedures)})"
+        )
+
+
+class Parser:
+    """Parse DSL source text into a :class:`ParsedUnit`."""
+
+    def __init__(self, source: str, filename: str = "<dsl>") -> None:
+        self.tokens = Lexer(source, filename).tokens()
+        self.position = 0
+        self.constants: Dict[str, int] = {}
+        self.procedures: Dict[str, ProcDef] = {}
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.position + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._next()
+        if not token.is_punct(text):
+            raise ParseError(f"{token.loc}: expected {text!r}, found {token.text!r}")
+        return token
+
+    def _expect_keyword(self, text: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(text):
+            raise ParseError(f"{token.loc}: expected {text!r}, found {token.text!r}")
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"{token.loc}: expected an identifier, found {token.text!r}"
+            )
+        return token
+
+    def _accept_punct(self, text: str) -> Optional[Token]:
+        if self._peek().is_punct(text):
+            return self._next()
+        return None
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> ParsedUnit:
+        """Parse the whole unit."""
+        while self._peek().kind is not TokenKind.EOF:
+            token = self._peek()
+            if token.is_keyword("const"):
+                self._parse_const()
+            elif token.is_keyword("proc"):
+                self._parse_proc()
+            else:
+                raise ParseError(
+                    f"{token.loc}: expected 'const' or 'proc' at top level, "
+                    f"found {token.text!r}"
+                )
+        return ParsedUnit(self.constants, self.procedures)
+
+    def _parse_const(self) -> None:
+        self._expect_keyword("const")
+        name = self._expect_ident()
+        self._expect_punct("=")
+        value_expr = self._parse_expression()
+        self._expect_punct(";")
+        value = _evaluate_constant(value_expr, self.constants)
+        if value is None:
+            raise ParseError(
+                f"{name.loc}: constant {name.text!r} must have a constant initializer"
+            )
+        self.constants[name.text] = value
+
+    def _parse_proc(self) -> None:
+        self._expect_keyword("proc")
+        name = self._expect_ident()
+        self._expect_punct("(")
+        parameters: List[str] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                parameters.append(self._expect_ident().text)
+                if self._accept_punct(","):
+                    continue
+                break
+        self._expect_punct(")")
+        body = self._parse_block()
+        if name.text in self.procedures:
+            raise ParseError(f"{name.loc}: duplicate procedure {name.text!r}")
+        self.procedures[name.text] = ProcDef(
+            name=name.text,
+            parameters=tuple(parameters),
+            body=body,
+            loc=name.loc,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> SeqStmt:
+        open_brace = self._expect_punct("{")
+        statements: List[Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError(f"{open_brace.loc}: unterminated block")
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return SeqStmt(statements=statements, loc=open_brace.loc)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+
+        if token.is_keyword("skip"):
+            self._next()
+            self._expect_punct(";")
+            return SkipStmt(loc=token.loc)
+        if token.is_keyword("halt"):
+            self._next()
+            message = ""
+            if self._peek().kind is TokenKind.STRING:
+                message = self._next().text
+            self._expect_punct(";")
+            return HaltStmt(message=message, loc=token.loc)
+        if token.is_keyword("warn"):
+            self._next()
+            message = ""
+            if self._peek().kind is TokenKind.STRING:
+                message = self._next().text
+            self._expect_punct(";")
+            return WarnStmt(message=message, loc=token.loc)
+        if token.is_keyword("return"):
+            self._next()
+            value: Optional[Expr] = None
+            if not self._peek().is_punct(";"):
+                value = self._parse_expression()
+            self._expect_punct(";")
+            return ReturnStmt(value=value, loc=token.loc)
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.kind is TokenKind.IDENT:
+            return self._parse_assignment_or_call()
+        raise ParseError(f"{token.loc}: unexpected token {token.text!r} in statement")
+
+    def _parse_if(self) -> IfStmt:
+        keyword = self._expect_keyword("if")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._parse_block()
+        else_body = SeqStmt(statements=[], loc=keyword.loc)
+        if self._peek().is_keyword("else"):
+            self._next()
+            if self._peek().is_keyword("if"):
+                nested = self._parse_if()
+                else_body = SeqStmt(statements=[nested], loc=nested.loc)
+            else:
+                else_body = self._parse_block()
+        return IfStmt(
+            condition=condition,
+            then_body=then_body,
+            else_body=else_body,
+            loc=keyword.loc,
+        )
+
+    def _parse_while(self) -> WhileStmt:
+        keyword = self._expect_keyword("while")
+        self._expect_punct("(")
+        condition = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_block()
+        return WhileStmt(condition=condition, body=body, loc=keyword.loc)
+
+    def _parse_assignment_or_call(self) -> Stmt:
+        name = self._expect_ident()
+
+        if self._peek().is_punct("("):
+            arguments = self._parse_arguments()
+            self._expect_punct(";")
+            return CallStmt(callee=name.text, arguments=tuple(arguments), loc=name.loc)
+
+        if self._peek().is_punct("["):
+            self._next()
+            offset = self._parse_expression()
+            self._expect_punct("]")
+            self._expect_punct("=")
+            value = self._parse_expression()
+            self._expect_punct(";")
+            return StoreStmt(
+                base=name.text, offset=offset, value=value, loc=name.loc
+            )
+
+        self._expect_punct("=")
+        if self._peek().is_keyword("alloc"):
+            self._next()
+            self._expect_punct("(")
+            size = self._parse_expression()
+            self._expect_punct(")")
+            tag = self._parse_optional_tag()
+            self._expect_punct(";")
+            return AllocStmt(target=name.text, size=size, loc=name.loc, tag=tag)
+        value = self._parse_expression()
+        tag = self._parse_optional_tag()
+        self._expect_punct(";")
+        return AssignStmt(target=name.text, value=value, loc=name.loc, tag=tag)
+
+    def _parse_optional_tag(self) -> Optional[str]:
+        if self._accept_punct("@"):
+            token = self._next()
+            if token.kind is not TokenKind.STRING:
+                raise ParseError(f"{token.loc}: expected a string tag after '@'")
+            return token.text
+        return None
+
+    def _parse_arguments(self) -> List[Expr]:
+        self._expect_punct("(")
+        arguments: List[Expr] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                arguments.append(self._parse_expression())
+                if self._accept_punct(","):
+                    continue
+                break
+        self._expect_punct(")")
+        return arguments
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._peek().is_punct("||"):
+            op_token = self._next()
+            right = self._parse_and()
+            left = BinaryExpr(BinaryOp.OR, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self._peek().is_punct("&&"):
+            op_token = self._next()
+            right = self._parse_comparison()
+            left = BinaryExpr(BinaryOp.AND, left, right, loc=op_token.loc)
+        return left
+
+    _COMPARISONS = {
+        "==": BinaryOp.EQ,
+        "!=": BinaryOp.NE,
+        "<": BinaryOp.LT,
+        "<=": BinaryOp.LE,
+        ">": BinaryOp.GT,
+        ">=": BinaryOp.GE,
+        "<s": BinaryOp.SLT,
+        "<=s": BinaryOp.SLE,
+        ">s": BinaryOp.SGT,
+        ">=s": BinaryOp.SGE,
+    }
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_bitor()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in self._COMPARISONS:
+            self._next()
+            right = self._parse_bitor()
+            return BinaryExpr(self._COMPARISONS[token.text], left, right, loc=token.loc)
+        return left
+
+    def _parse_bitor(self) -> Expr:
+        left = self._parse_bitxor()
+        while self._peek().is_punct("|"):
+            op_token = self._next()
+            right = self._parse_bitxor()
+            left = BinaryExpr(BinaryOp.BITOR, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_bitxor(self) -> Expr:
+        left = self._parse_bitand()
+        while self._peek().is_punct("^"):
+            op_token = self._next()
+            right = self._parse_bitand()
+            left = BinaryExpr(BinaryOp.BITXOR, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_bitand(self) -> Expr:
+        left = self._parse_shift()
+        while self._peek().is_punct("&"):
+            op_token = self._next()
+            right = self._parse_shift()
+            left = BinaryExpr(BinaryOp.BITAND, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_shift(self) -> Expr:
+        left = self._parse_additive()
+        while self._peek().is_punct("<<") or self._peek().is_punct(">>"):
+            op_token = self._next()
+            op = BinaryOp.SHL if op_token.text == "<<" else BinaryOp.SHR
+            right = self._parse_additive()
+            left = BinaryExpr(op, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().is_punct("+") or self._peek().is_punct("-"):
+            op_token = self._next()
+            op = BinaryOp.ADD if op_token.text == "+" else BinaryOp.SUB
+            right = self._parse_multiplicative()
+            left = BinaryExpr(op, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while (
+            self._peek().is_punct("*")
+            or self._peek().is_punct("/")
+            or self._peek().is_punct("%")
+        ):
+            op_token = self._next()
+            op = {
+                "*": BinaryOp.MUL,
+                "/": BinaryOp.DIV,
+                "%": BinaryOp.MOD,
+            }[op_token.text]
+            right = self._parse_unary()
+            left = BinaryExpr(op, left, right, loc=op_token.loc)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.is_punct("-"):
+            self._next()
+            return UnaryExpr(UnaryOp.NEG, self._parse_unary(), loc=token.loc)
+        if token.is_punct("~"):
+            self._next()
+            return UnaryExpr(UnaryOp.BITNOT, self._parse_unary(), loc=token.loc)
+        if token.is_punct("!"):
+            self._next()
+            return UnaryExpr(UnaryOp.NOT, self._parse_unary(), loc=token.loc)
+        if token.is_keyword("abs"):
+            self._next()
+            self._expect_punct("(")
+            operand = self._parse_expression()
+            self._expect_punct(")")
+            return UnaryExpr(UnaryOp.ABS, operand, loc=token.loc)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind is TokenKind.NUMBER:
+            return ConstExpr(value=int(token.value or 0), loc=token.loc)
+        if token.is_keyword("true"):
+            return ConstExpr(value=1, loc=token.loc)
+        if token.is_keyword("false"):
+            return ConstExpr(value=0, loc=token.loc)
+        if token.is_keyword("input"):
+            self._expect_punct("(")
+            offset = self._parse_expression()
+            self._expect_punct(")")
+            return InputByteExpr(offset=offset, loc=token.loc)
+        if token.is_keyword("input_size"):
+            return InputSizeExpr(loc=token.loc)
+        if token.is_punct("("):
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENT:
+            if token.text in self.constants:
+                if not (self._peek().is_punct("(") or self._peek().is_punct("[")):
+                    return ConstExpr(value=self.constants[token.text], loc=token.loc)
+            if self._peek().is_punct("("):
+                arguments = self._parse_arguments()
+                return CallExpr(
+                    callee=token.text, arguments=tuple(arguments), loc=token.loc
+                )
+            if self._peek().is_punct("["):
+                self._next()
+                offset = self._parse_expression()
+                self._expect_punct("]")
+                return LoadExpr(base=token.text, offset=offset, loc=token.loc)
+            return VarExpr(name=token.text, loc=token.loc)
+        raise ParseError(f"{token.loc}: unexpected token {token.text!r} in expression")
+
+
+def _evaluate_constant(expr: Expr, constants: Dict[str, int]) -> Optional[int]:
+    """Evaluate a constant initializer; returns ``None`` if not constant."""
+    if isinstance(expr, ConstExpr):
+        return expr.value
+    if isinstance(expr, VarExpr):
+        return constants.get(expr.name)
+    if isinstance(expr, UnaryExpr):
+        operand = _evaluate_constant(expr.operand, constants)
+        if operand is None:
+            return None
+        if expr.op is UnaryOp.NEG:
+            return -operand
+        if expr.op is UnaryOp.BITNOT:
+            return ~operand
+        if expr.op is UnaryOp.NOT:
+            return 0 if operand else 1
+        if expr.op is UnaryOp.ABS:
+            return abs(operand)
+    if isinstance(expr, BinaryExpr):
+        left = _evaluate_constant(expr.left, constants)
+        right = _evaluate_constant(expr.right, constants)
+        if left is None or right is None:
+            return None
+        return _fold_constant_binary(expr.op, left, right)
+    return None
+
+
+def _fold_constant_binary(op: BinaryOp, left: int, right: int) -> Optional[int]:
+    if op is BinaryOp.ADD:
+        return left + right
+    if op is BinaryOp.SUB:
+        return left - right
+    if op is BinaryOp.MUL:
+        return left * right
+    if op is BinaryOp.DIV:
+        return left // right if right else 0
+    if op is BinaryOp.MOD:
+        return left % right if right else 0
+    if op is BinaryOp.SHL:
+        return left << right
+    if op is BinaryOp.SHR:
+        return left >> right
+    if op is BinaryOp.BITAND:
+        return left & right
+    if op is BinaryOp.BITOR:
+        return left | right
+    if op is BinaryOp.BITXOR:
+        return left ^ right
+    return None
+
+
+def parse_program(source: str, filename: str = "<dsl>") -> ParsedUnit:
+    """Parse DSL source text into constants and procedure definitions."""
+    return Parser(source, filename).parse()

@@ -1,0 +1,360 @@
+"""Ergonomic constructors for the bitvector term language.
+
+These functions perform light sort checking and canonicalisation (constant
+wrapping, commutative argument ordering) but no real simplification — that is
+the job of :mod:`repro.smt.simplify`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.smt.terms import (
+    COMMUTATIVE_KINDS,
+    Term,
+    TermKind,
+    truncate,
+)
+
+TermLike = Union[Term, int, bool]
+
+
+class SortError(TypeError):
+    """Raised when an operator is applied to operands of the wrong sort."""
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+def bv_const(value: int, width: int) -> Term:
+    """A bitvector constant, wrapped to ``width`` bits."""
+    if width <= 0:
+        raise SortError(f"bitvector width must be positive, got {width}")
+    return Term.make(TermKind.BV_CONST, width=width, value=truncate(value, width))
+
+
+def bv_var(name: str, width: int) -> Term:
+    """A bitvector variable."""
+    if width <= 0:
+        raise SortError(f"bitvector width must be positive, got {width}")
+    return Term.make(TermKind.BV_VAR, width=width, name=name)
+
+
+def bool_const(value: bool) -> Term:
+    """The boolean constant ``true`` or ``false``."""
+    return Term.make(TermKind.BOOL_CONST, value=1 if value else 0)
+
+
+def bool_var(name: str) -> Term:
+    """A boolean variable."""
+    return Term.make(TermKind.BOOL_VAR, name=name)
+
+
+TRUE = bool_const(True)
+FALSE = bool_const(False)
+
+
+# ----------------------------------------------------------------------
+# Coercion helpers
+# ----------------------------------------------------------------------
+def _as_bv(value: TermLike, width: int) -> Term:
+    if isinstance(value, Term):
+        if not value.is_bv:
+            raise SortError(f"expected a bitvector term, got {value.sort()}")
+        return value
+    if isinstance(value, bool):
+        raise SortError("cannot coerce a bool into a bitvector operand")
+    return bv_const(int(value), width)
+
+
+def _as_bool(value: TermLike) -> Term:
+    if isinstance(value, Term):
+        if not value.is_bool:
+            raise SortError(f"expected a boolean term, got {value.sort()}")
+        return value
+    return bool_const(bool(value))
+
+
+def _binary_bv(kind: TermKind, a: TermLike, b: TermLike) -> Term:
+    if not isinstance(a, Term) and not isinstance(b, Term):
+        raise SortError("at least one operand must be a Term to infer the width")
+    width = a.width if isinstance(a, Term) else b.width  # type: ignore[union-attr]
+    left = _as_bv(a, width)
+    right = _as_bv(b, width)
+    if left.width != right.width:
+        raise SortError(
+            f"width mismatch: {left.width} vs {right.width} for {kind.value}"
+        )
+    if kind in COMMUTATIVE_KINDS and left._id > right._id:
+        left, right = right, left
+    return Term.make(kind, (left, right), width=left.width)
+
+
+def _comparison(kind: TermKind, a: TermLike, b: TermLike) -> Term:
+    if not isinstance(a, Term) and not isinstance(b, Term):
+        raise SortError("at least one operand must be a Term to infer the width")
+    width = a.width if isinstance(a, Term) else b.width  # type: ignore[union-attr]
+    left = _as_bv(a, width)
+    right = _as_bv(b, width)
+    if left.width != right.width:
+        raise SortError(
+            f"width mismatch: {left.width} vs {right.width} for {kind.value}"
+        )
+    if kind in COMMUTATIVE_KINDS and left._id > right._id:
+        left, right = right, left
+    return Term.make(kind, (left, right))
+
+
+# ----------------------------------------------------------------------
+# Bitvector arithmetic
+# ----------------------------------------------------------------------
+def add(a: TermLike, b: TermLike) -> Term:
+    """Modular addition."""
+    return _binary_bv(TermKind.ADD, a, b)
+
+
+def sub(a: TermLike, b: TermLike) -> Term:
+    """Modular subtraction."""
+    return _binary_bv(TermKind.SUB, a, b)
+
+
+def mul(a: TermLike, b: TermLike) -> Term:
+    """Modular multiplication."""
+    return _binary_bv(TermKind.MUL, a, b)
+
+
+def udiv(a: TermLike, b: TermLike) -> Term:
+    """Unsigned division (division by zero yields the all-ones value)."""
+    return _binary_bv(TermKind.UDIV, a, b)
+
+
+def urem(a: TermLike, b: TermLike) -> Term:
+    """Unsigned remainder (remainder by zero yields the dividend)."""
+    return _binary_bv(TermKind.UREM, a, b)
+
+
+def neg(a: Term) -> Term:
+    """Two's-complement negation."""
+    if not a.is_bv:
+        raise SortError("neg expects a bitvector operand")
+    return Term.make(TermKind.NEG, (a,), width=a.width)
+
+
+# ----------------------------------------------------------------------
+# Bitwise
+# ----------------------------------------------------------------------
+def bvand(a: TermLike, b: TermLike) -> Term:
+    """Bitwise and."""
+    return _binary_bv(TermKind.AND, a, b)
+
+
+def bvor(a: TermLike, b: TermLike) -> Term:
+    """Bitwise or."""
+    return _binary_bv(TermKind.OR, a, b)
+
+
+def bvxor(a: TermLike, b: TermLike) -> Term:
+    """Bitwise exclusive or."""
+    return _binary_bv(TermKind.XOR, a, b)
+
+
+def bvnot(a: Term) -> Term:
+    """Bitwise complement."""
+    if not a.is_bv:
+        raise SortError("bvnot expects a bitvector operand")
+    return Term.make(TermKind.NOT, (a,), width=a.width)
+
+
+def shl(a: TermLike, b: TermLike) -> Term:
+    """Logical shift left (shift amounts >= width produce zero)."""
+    return _binary_bv(TermKind.SHL, a, b)
+
+
+def lshr(a: TermLike, b: TermLike) -> Term:
+    """Logical shift right."""
+    return _binary_bv(TermKind.LSHR, a, b)
+
+
+def ashr(a: TermLike, b: TermLike) -> Term:
+    """Arithmetic shift right."""
+    return _binary_bv(TermKind.ASHR, a, b)
+
+
+# ----------------------------------------------------------------------
+# Structural
+# ----------------------------------------------------------------------
+def zext(a: Term, new_width: int) -> Term:
+    """Zero-extend ``a`` to ``new_width`` bits."""
+    if not a.is_bv:
+        raise SortError("zext expects a bitvector operand")
+    if new_width < a.width:
+        raise SortError(f"zext target width {new_width} < operand width {a.width}")
+    if new_width == a.width:
+        return a
+    return Term.make(TermKind.ZEXT, (a,), width=new_width, params=(new_width,))
+
+
+def sext(a: Term, new_width: int) -> Term:
+    """Sign-extend ``a`` to ``new_width`` bits."""
+    if not a.is_bv:
+        raise SortError("sext expects a bitvector operand")
+    if new_width < a.width:
+        raise SortError(f"sext target width {new_width} < operand width {a.width}")
+    if new_width == a.width:
+        return a
+    return Term.make(TermKind.SEXT, (a,), width=new_width, params=(new_width,))
+
+
+def extract(a: Term, high: int, low: int) -> Term:
+    """Extract bits ``high`` down to ``low`` (inclusive)."""
+    if not a.is_bv:
+        raise SortError("extract expects a bitvector operand")
+    if not (0 <= low <= high < a.width):
+        raise SortError(f"extract [{high}:{low}] out of range for width {a.width}")
+    return Term.make(
+        TermKind.EXTRACT, (a,), width=high - low + 1, params=(high, low)
+    )
+
+
+def concat(high: Term, low: Term) -> Term:
+    """Concatenate ``high`` above ``low``."""
+    if not (high.is_bv and low.is_bv):
+        raise SortError("concat expects bitvector operands")
+    return Term.make(TermKind.CONCAT, (high, low), width=high.width + low.width)
+
+
+def ite(cond: TermLike, then: TermLike, otherwise: TermLike) -> Term:
+    """If-then-else over bitvectors (or booleans via :func:`bite`)."""
+    cond_term = _as_bool(cond)
+    if isinstance(then, Term) and then.is_bool:
+        return bite(cond_term, then, otherwise)
+    if not isinstance(then, Term) and not isinstance(otherwise, Term):
+        raise SortError("ite needs at least one Term branch to infer the width")
+    width = then.width if isinstance(then, Term) else otherwise.width  # type: ignore[union-attr]
+    then_term = _as_bv(then, width)
+    else_term = _as_bv(otherwise, width)
+    if then_term.width != else_term.width:
+        raise SortError("ite branches must have equal widths")
+    return Term.make(TermKind.ITE, (cond_term, then_term, else_term), width=width)
+
+
+# ----------------------------------------------------------------------
+# Comparisons
+# ----------------------------------------------------------------------
+def eq(a: TermLike, b: TermLike) -> Term:
+    """Equality (bitvector operands, boolean result)."""
+    if isinstance(a, Term) and a.is_bool:
+        return beq(a, _as_bool(b))
+    if isinstance(b, Term) and b.is_bool:
+        return beq(_as_bool(a), b)
+    return _comparison(TermKind.EQ, a, b)
+
+
+def ne(a: TermLike, b: TermLike) -> Term:
+    """Disequality."""
+    if isinstance(a, Term) and a.is_bool:
+        return bnot(beq(a, _as_bool(b)))
+    if isinstance(b, Term) and b.is_bool:
+        return bnot(beq(_as_bool(a), b))
+    return _comparison(TermKind.NE, a, b)
+
+
+def ult(a: TermLike, b: TermLike) -> Term:
+    """Unsigned less-than."""
+    return _comparison(TermKind.ULT, a, b)
+
+
+def ule(a: TermLike, b: TermLike) -> Term:
+    """Unsigned less-or-equal."""
+    return _comparison(TermKind.ULE, a, b)
+
+
+def ugt(a: TermLike, b: TermLike) -> Term:
+    """Unsigned greater-than."""
+    return _comparison(TermKind.UGT, a, b)
+
+
+def uge(a: TermLike, b: TermLike) -> Term:
+    """Unsigned greater-or-equal."""
+    return _comparison(TermKind.UGE, a, b)
+
+
+def slt(a: TermLike, b: TermLike) -> Term:
+    """Signed less-than."""
+    return _comparison(TermKind.SLT, a, b)
+
+
+def sle(a: TermLike, b: TermLike) -> Term:
+    """Signed less-or-equal."""
+    return _comparison(TermKind.SLE, a, b)
+
+
+def sgt(a: TermLike, b: TermLike) -> Term:
+    """Signed greater-than."""
+    return _comparison(TermKind.SGT, a, b)
+
+
+def sge(a: TermLike, b: TermLike) -> Term:
+    """Signed greater-or-equal."""
+    return _comparison(TermKind.SGE, a, b)
+
+
+# ----------------------------------------------------------------------
+# Boolean connectives
+# ----------------------------------------------------------------------
+def band(*operands: TermLike) -> Term:
+    """Boolean conjunction of any arity (empty conjunction is ``true``)."""
+    terms = [_as_bool(op) for op in operands]
+    if not terms:
+        return TRUE
+    result = terms[0]
+    for term in terms[1:]:
+        left, right = result, term
+        if left._id > right._id:
+            left, right = right, left
+        result = Term.make(TermKind.BAND, (left, right))
+    return result
+
+
+def bor(*operands: TermLike) -> Term:
+    """Boolean disjunction of any arity (empty disjunction is ``false``)."""
+    terms = [_as_bool(op) for op in operands]
+    if not terms:
+        return FALSE
+    result = terms[0]
+    for term in terms[1:]:
+        left, right = result, term
+        if left._id > right._id:
+            left, right = right, left
+        result = Term.make(TermKind.BOR, (left, right))
+    return result
+
+
+def bnot(a: TermLike) -> Term:
+    """Boolean negation."""
+    return Term.make(TermKind.BNOT, (_as_bool(a),))
+
+
+def bxor(a: TermLike, b: TermLike) -> Term:
+    """Boolean exclusive or."""
+    left, right = _as_bool(a), _as_bool(b)
+    if left._id > right._id:
+        left, right = right, left
+    return Term.make(TermKind.BXOR, (left, right))
+
+
+def beq(a: TermLike, b: TermLike) -> Term:
+    """Boolean equivalence (iff)."""
+    return bnot(bxor(a, b))
+
+
+def implies(a: TermLike, b: TermLike) -> Term:
+    """Boolean implication."""
+    return Term.make(TermKind.IMPLIES, (_as_bool(a), _as_bool(b)))
+
+
+def bite(cond: TermLike, then: TermLike, otherwise: TermLike) -> Term:
+    """If-then-else over booleans."""
+    return Term.make(
+        TermKind.BITE, (_as_bool(cond), _as_bool(then), _as_bool(otherwise))
+    )

@@ -1,0 +1,225 @@
+"""Models and term evaluation.
+
+A :class:`Model` assigns integer values to bitvector variables (and booleans
+to boolean variables).  :func:`evaluate` computes the concrete value of any
+term under such an assignment, using the same wrap-around machine semantics
+as the concrete interpreter in :mod:`repro.exec.values`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.smt.terms import Term, TermKind, mask, to_signed, truncate
+
+
+class EvaluationError(ValueError):
+    """Raised when a term cannot be evaluated (e.g. an unassigned variable)."""
+
+
+class Model:
+    """An assignment of values to variables.
+
+    Values are stored by variable *name*; widths are validated lazily when a
+    term is evaluated.
+    """
+
+    def __init__(self, assignment: Optional[Mapping[str, int]] = None) -> None:
+        self._assignment: Dict[str, int] = dict(assignment or {})
+
+    # ------------------------------------------------------------------
+    # Mapping-like interface
+    # ------------------------------------------------------------------
+    def __contains__(self, name: Union[str, Term]) -> bool:
+        return self._name_of(name) in self._assignment
+
+    def __getitem__(self, name: Union[str, Term]) -> int:
+        return self._assignment[self._name_of(name)]
+
+    def __setitem__(self, name: Union[str, Term], value: int) -> None:
+        self._assignment[self._name_of(name)] = int(value)
+
+    def __iter__(self):
+        return iter(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Model):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignment.items()))
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._assignment.items()))
+        return f"Model({items})"
+
+    @staticmethod
+    def _name_of(name: Union[str, Term]) -> str:
+        if isinstance(name, Term):
+            if not name.is_var:
+                raise EvaluationError("model keys must be variables or names")
+            return str(name.name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def get(self, name: Union[str, Term], default: Optional[int] = None) -> Optional[int]:
+        """Return the value assigned to ``name`` or ``default``."""
+        return self._assignment.get(self._name_of(name), default)
+
+    def copy(self) -> "Model":
+        """Return an independent copy of this model."""
+        return Model(self._assignment)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the assignment as a plain dictionary."""
+        return dict(self._assignment)
+
+    def update(self, other: Mapping[str, int]) -> None:
+        """Merge ``other`` into this model, overwriting existing keys."""
+        for key, value in other.items():
+            self._assignment[key] = int(value)
+
+    def restricted_to(self, names: Iterable[str]) -> "Model":
+        """Return a model containing only the listed variable names."""
+        keep = set(names)
+        return Model({k: v for k, v in self._assignment.items() if k in keep})
+
+
+def evaluate(term: Term, model: Union[Model, Mapping[str, int]]) -> int:
+    """Evaluate ``term`` under ``model``.
+
+    Bitvector terms evaluate to unsigned Python integers in ``[0, 2^w)``;
+    boolean terms evaluate to ``0`` or ``1``.
+    """
+    if isinstance(model, Model):
+        lookup = model.as_dict()
+    else:
+        lookup = dict(model)
+    cache: Dict[int, int] = {}
+    return _eval(term, lookup, cache)
+
+
+def _eval(term: Term, model: Mapping[str, int], cache: Dict[int, int]) -> int:
+    cached = cache.get(id(term))
+    if cached is not None:
+        return cached
+    value = _eval_uncached(term, model, cache)
+    cache[id(term)] = value
+    return value
+
+
+def _eval_uncached(term: Term, model: Mapping[str, int], cache: Dict[int, int]) -> int:
+    kind = term.kind
+    width = term.width
+
+    if kind is TermKind.BV_CONST or kind is TermKind.BOOL_CONST:
+        return int(term.value)
+    if kind is TermKind.BV_VAR:
+        if term.name not in model:
+            raise EvaluationError(f"unassigned bitvector variable {term.name!r}")
+        return truncate(int(model[term.name]), width)
+    if kind is TermKind.BOOL_VAR:
+        if term.name not in model:
+            raise EvaluationError(f"unassigned boolean variable {term.name!r}")
+        return 1 if model[term.name] else 0
+
+    args = [_eval(a, model, cache) for a in term.args]
+
+    # Bitvector arithmetic.
+    if kind is TermKind.ADD:
+        return truncate(args[0] + args[1], width)
+    if kind is TermKind.SUB:
+        return truncate(args[0] - args[1], width)
+    if kind is TermKind.MUL:
+        return truncate(args[0] * args[1], width)
+    if kind is TermKind.UDIV:
+        return mask(width) if args[1] == 0 else truncate(args[0] // args[1], width)
+    if kind is TermKind.UREM:
+        return args[0] if args[1] == 0 else truncate(args[0] % args[1], width)
+    if kind is TermKind.NEG:
+        return truncate(-args[0], width)
+
+    # Bitwise.
+    if kind is TermKind.AND:
+        return args[0] & args[1]
+    if kind is TermKind.OR:
+        return args[0] | args[1]
+    if kind is TermKind.XOR:
+        return args[0] ^ args[1]
+    if kind is TermKind.NOT:
+        return truncate(~args[0], width)
+    if kind is TermKind.SHL:
+        shift = args[1]
+        return 0 if shift >= width else truncate(args[0] << shift, width)
+    if kind is TermKind.LSHR:
+        shift = args[1]
+        return 0 if shift >= width else args[0] >> shift
+    if kind is TermKind.ASHR:
+        shift = min(args[1], width - 1) if args[1] >= width else args[1]
+        signed = to_signed(args[0], term.args[0].width)
+        return truncate(signed >> shift, width)
+
+    # Structural.
+    if kind is TermKind.ZEXT:
+        return args[0]
+    if kind is TermKind.SEXT:
+        return truncate(to_signed(args[0], term.args[0].width), width)
+    if kind is TermKind.EXTRACT:
+        high, low = term.params
+        return (args[0] >> low) & mask(high - low + 1)
+    if kind is TermKind.CONCAT:
+        return (args[0] << term.args[1].width) | args[1]
+    if kind is TermKind.ITE:
+        return args[1] if args[0] else args[2]
+
+    # Comparisons.
+    if kind is TermKind.EQ:
+        return 1 if args[0] == args[1] else 0
+    if kind is TermKind.NE:
+        return 1 if args[0] != args[1] else 0
+    if kind is TermKind.ULT:
+        return 1 if args[0] < args[1] else 0
+    if kind is TermKind.ULE:
+        return 1 if args[0] <= args[1] else 0
+    if kind is TermKind.UGT:
+        return 1 if args[0] > args[1] else 0
+    if kind is TermKind.UGE:
+        return 1 if args[0] >= args[1] else 0
+    opw = term.args[0].width if term.args else None
+    if kind is TermKind.SLT:
+        return 1 if to_signed(args[0], opw) < to_signed(args[1], opw) else 0
+    if kind is TermKind.SLE:
+        return 1 if to_signed(args[0], opw) <= to_signed(args[1], opw) else 0
+    if kind is TermKind.SGT:
+        return 1 if to_signed(args[0], opw) > to_signed(args[1], opw) else 0
+    if kind is TermKind.SGE:
+        return 1 if to_signed(args[0], opw) >= to_signed(args[1], opw) else 0
+
+    # Boolean connectives.
+    if kind is TermKind.BAND:
+        return args[0] & args[1]
+    if kind is TermKind.BOR:
+        return args[0] | args[1]
+    if kind is TermKind.BNOT:
+        return 1 - args[0]
+    if kind is TermKind.BXOR:
+        return args[0] ^ args[1]
+    if kind is TermKind.IMPLIES:
+        return 1 if (not args[0]) or args[1] else 0
+    if kind is TermKind.BITE:
+        return args[1] if args[0] else args[2]
+
+    raise EvaluationError(f"cannot evaluate term kind {kind}")
+
+
+def satisfies(constraint: Term, model: Union[Model, Mapping[str, int]]) -> bool:
+    """Whether ``model`` makes the boolean ``constraint`` true."""
+    if not constraint.is_bool:
+        raise EvaluationError("satisfies() expects a boolean constraint")
+    return evaluate(constraint, model) == 1

@@ -1,0 +1,621 @@
+"""Unsigned interval analysis with backward propagation.
+
+Two roles in the DIODE pipeline:
+
+* **Cheap unsatisfiability proofs.**  Many target constraints in the paper
+  are unsatisfiable (17 of the 40 target sites) because sanity checks bound
+  the relevant input fields so tightly that the target expression cannot wrap
+  (e.g. ``rowbytes <= 1154`` and ``height <= 10^6`` bound the product below
+  ``2^32``).  Forward interval evaluation plus backward propagation over the
+  conjunction of constraints detects these cases without bit-blasting.
+
+* **Sampler guidance.**  The sampler draws candidate field values from the
+  propagated intervals instead of the full 2^32 space, which is what makes
+  the 200-input success-rate experiments fast.
+
+The domain is the classic unsigned interval lattice ``[lo, hi]`` (with
+``lo > hi`` meaning empty / contradiction).  Operations that can wrap fall
+back to the full range of the result width, which keeps the analysis sound
+with respect to the modular semantics of :mod:`repro.smt.evalmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.smt.terms import Term, TermKind, mask, to_signed
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed unsigned interval ``[lo, hi]``; empty when ``lo > hi``."""
+
+    lo: int
+    hi: int
+
+    @staticmethod
+    def full(width: int) -> "Interval":
+        """The complete range of a ``width``-bit unsigned value."""
+        return Interval(0, mask(width))
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        """The singleton interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """The canonical empty interval."""
+        return Interval(1, 0)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this interval contains no values."""
+        return self.lo > self.hi
+
+    @property
+    def is_point(self) -> bool:
+        """Whether this interval contains exactly one value."""
+        return self.lo == self.hi
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def size(self) -> int:
+        """Number of values in the interval."""
+        if self.is_empty:
+            return 0
+        return self.hi - self.lo + 1
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Meet of two intervals."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        """Join (convex hull) of two intervals."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen_to(self, width: int) -> "Interval":
+        """Clamp to the representable range of ``width`` bits."""
+        return self.intersect(Interval.full(width))
+
+
+class IntervalAnalysis:
+    """Forward interval evaluation over a term DAG with a variable context.
+
+    ``term_bounds`` carries *learned* bounds for non-variable terms (keyed by
+    term identity): when a conjunction contains a constraint such as
+    ``rowbytes_expr <= 1120``, the bound is attached to the expression node
+    itself so that every other constraint sharing that node (thanks to
+    hash-consing) benefits.  This is what lets the analysis prove the paper's
+    blocking-check conjunctions unsatisfiable without bit-blasting.
+    """
+
+    def __init__(
+        self,
+        bounds: Optional[Dict[str, Interval]] = None,
+        term_bounds: Optional[Dict[int, Interval]] = None,
+    ) -> None:
+        self.bounds: Dict[str, Interval] = dict(bounds or {})
+        self.term_bounds: Dict[int, Interval] = dict(term_bounds or {})
+        self._cache: Dict[int, Interval] = {}
+
+    def interval(self, term: Term) -> Interval:
+        """Forward-evaluate the interval of a bitvector term."""
+        cached = self._cache.get(id(term))
+        if cached is not None:
+            return cached
+        result = self._compute(term)
+        learned = self.term_bounds.get(id(term))
+        if learned is not None:
+            result = result.intersect(learned)
+        self._cache[id(term)] = result
+        return result
+
+    def invalidate(self) -> None:
+        """Drop the forward cache (after variable bounds change)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def _compute(self, term: Term) -> Interval:
+        kind = term.kind
+        width = term.width
+
+        if width is None:
+            # Boolean terms reached through ITE conditions: 0/1.
+            return Interval(0, 1)
+        if kind is TermKind.BV_CONST:
+            return Interval.point(term.value)
+        if kind is TermKind.BV_VAR:
+            bound = self.bounds.get(str(term.name))
+            if bound is None:
+                return Interval.full(width)
+            return bound.widen_to(width)
+        if kind is TermKind.ITE:
+            return self.interval(term.args[1]).union(self.interval(term.args[2]))
+
+        args = [self.interval(a) for a in term.args]
+        if any(a.is_empty for a in args):
+            return Interval.empty()
+        full = Interval.full(width)
+
+        if kind is TermKind.ADD:
+            lo = args[0].lo + args[1].lo
+            hi = args[0].hi + args[1].hi
+            if hi > mask(width):
+                return full
+            return Interval(lo, hi)
+        if kind is TermKind.SUB:
+            lo = args[0].lo - args[1].hi
+            hi = args[0].hi - args[1].lo
+            if lo < 0:
+                return full
+            return Interval(lo, hi)
+        if kind is TermKind.MUL:
+            lo = args[0].lo * args[1].lo
+            hi = args[0].hi * args[1].hi
+            if hi > mask(width):
+                return full
+            return Interval(lo, hi)
+        if kind is TermKind.UDIV:
+            divisor = args[1]
+            if divisor.lo == 0:
+                return full
+            return Interval(args[0].lo // divisor.hi, args[0].hi // divisor.lo)
+        if kind is TermKind.UREM:
+            divisor = args[1]
+            if divisor.lo == 0:
+                return full
+            return Interval(0, min(args[0].hi, divisor.hi - 1))
+        if kind is TermKind.NEG:
+            if args[0].is_point and args[0].lo == 0:
+                return Interval.point(0)
+            return full
+        if kind is TermKind.AND:
+            return Interval(0, min(args[0].hi, args[1].hi))
+        if kind is TermKind.OR:
+            hi = args[0].hi | args[1].hi
+            upper = (1 << max(args[0].hi.bit_length(), args[1].hi.bit_length())) - 1
+            return Interval(max(args[0].lo, args[1].lo), min(mask(width), max(hi, upper)))
+        if kind is TermKind.XOR:
+            upper = (1 << max(args[0].hi.bit_length(), args[1].hi.bit_length())) - 1
+            return Interval(0, min(mask(width), upper))
+        if kind is TermKind.NOT:
+            return Interval(mask(width) - args[0].hi, mask(width) - args[0].lo)
+        if kind is TermKind.SHL:
+            shift = args[1]
+            if shift.is_point:
+                amount = shift.lo
+                if amount >= width:
+                    return Interval.point(0)
+                hi = args[0].hi << amount
+                if hi > mask(width):
+                    return full
+                return Interval(args[0].lo << amount, hi)
+            return full
+        if kind is TermKind.LSHR:
+            shift = args[1]
+            if shift.is_point:
+                amount = shift.lo
+                if amount >= width:
+                    return Interval.point(0)
+                return Interval(args[0].lo >> amount, args[0].hi >> amount)
+            return Interval(0, args[0].hi)
+        if kind is TermKind.ASHR:
+            return full
+        if kind is TermKind.ZEXT:
+            return args[0]
+        if kind is TermKind.SEXT:
+            inner = term.args[0]
+            if args[0].hi < (1 << (inner.width - 1)):
+                return args[0]
+            return full
+        if kind is TermKind.EXTRACT:
+            high, low = term.params
+            if low == 0 and args[0].hi <= mask(high + 1):
+                return args[0]
+            return Interval.full(high - low + 1)
+        if kind is TermKind.CONCAT:
+            low_width = term.args[1].width
+            lo = (args[0].lo << low_width) | args[1].lo
+            hi = (args[0].hi << low_width) | args[1].hi
+            return Interval(lo, hi)
+        if kind is TermKind.ITE:
+            return args[1].union(args[2])
+        return full
+
+    # ------------------------------------------------------------------
+    # Boolean entailment under the current bounds
+    # ------------------------------------------------------------------
+    def decide(self, constraint: Term) -> Optional[bool]:
+        """Return ``True``/``False`` if the bounds decide ``constraint``.
+
+        ``None`` means the constraint is still possible either way.
+        """
+        kind = constraint.kind
+        if kind is TermKind.BOOL_CONST:
+            return bool(constraint.value)
+        if kind is TermKind.BNOT:
+            inner = self.decide(constraint.args[0])
+            return None if inner is None else (not inner)
+        if kind is TermKind.BAND:
+            left = self.decide(constraint.args[0])
+            right = self.decide(constraint.args[1])
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+            return None
+        if kind is TermKind.BOR:
+            left = self.decide(constraint.args[0])
+            right = self.decide(constraint.args[1])
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        if kind is TermKind.IMPLIES:
+            left = self.decide(constraint.args[0])
+            right = self.decide(constraint.args[1])
+            if left is False or right is True:
+                return True
+            if left is True and right is False:
+                return False
+            return None
+        if kind in _UNSIGNED_COMPARISONS:
+            left = self.interval(constraint.args[0])
+            right = self.interval(constraint.args[1])
+            if left.is_empty or right.is_empty:
+                return False
+            return _decide_unsigned(kind, left, right)
+        return None
+
+
+_UNSIGNED_COMPARISONS = frozenset(
+    {
+        TermKind.EQ,
+        TermKind.NE,
+        TermKind.ULT,
+        TermKind.ULE,
+        TermKind.UGT,
+        TermKind.UGE,
+    }
+)
+
+
+def _decide_unsigned(kind: TermKind, left: Interval, right: Interval) -> Optional[bool]:
+    if kind is TermKind.EQ:
+        if left.is_point and right.is_point and left.lo == right.lo:
+            return True
+        if left.hi < right.lo or right.hi < left.lo:
+            return False
+        return None
+    if kind is TermKind.NE:
+        inner = _decide_unsigned(TermKind.EQ, left, right)
+        return None if inner is None else (not inner)
+    if kind is TermKind.ULT:
+        if left.hi < right.lo:
+            return True
+        if left.lo >= right.hi:
+            return False
+        return None
+    if kind is TermKind.ULE:
+        if left.hi <= right.lo:
+            return True
+        if left.lo > right.hi:
+            return False
+        return None
+    if kind is TermKind.UGT:
+        inner = _decide_unsigned(TermKind.ULE, left, right)
+        return None if inner is None else (not inner)
+    if kind is TermKind.UGE:
+        inner = _decide_unsigned(TermKind.ULT, left, right)
+        return None if inner is None else (not inner)
+    return None
+
+
+def interval_of(term: Term, bounds: Optional[Dict[str, Interval]] = None) -> Interval:
+    """Forward interval of ``term`` under optional variable bounds."""
+    return IntervalAnalysis(bounds).interval(term)
+
+
+# ----------------------------------------------------------------------
+# Backward propagation (an HC4-style contractor)
+# ----------------------------------------------------------------------
+def propagate_intervals(
+    constraints: Iterable[Term],
+    widths: Dict[str, int],
+    initial: Optional[Dict[str, Interval]] = None,
+    max_rounds: int = 16,
+) -> Tuple[bool, Dict[str, Interval]]:
+    """Contract variable intervals under a conjunction of boolean constraints.
+
+    Returns ``(feasible, bounds)``.  ``feasible=False`` is a *proof* that the
+    conjunction is unsatisfiable.  ``feasible=True`` means the analysis could
+    not rule the conjunction out (it may still be unsatisfiable).
+    """
+    bounds: Dict[str, Interval] = {
+        name: Interval.full(width) for name, width in widths.items()
+    }
+    if initial:
+        for name, interval in initial.items():
+            if name in bounds:
+                bounds[name] = bounds[name].intersect(interval)
+    term_bounds: Dict[int, Interval] = {}
+    constraint_list = list(constraints)
+
+    for _ in range(max_rounds):
+        changed = False
+        analysis = IntervalAnalysis(bounds, term_bounds)
+        for constraint in constraint_list:
+            decided = analysis.decide(constraint)
+            if decided is False:
+                return False, bounds
+            learned = _learn_term_bounds(constraint, analysis)
+            for term_id, interval in learned.items():
+                if interval.is_empty:
+                    return False, bounds
+                existing = term_bounds.get(term_id)
+                refined = interval if existing is None else existing.intersect(interval)
+                if refined.is_empty:
+                    return False, bounds
+                if refined != existing:
+                    term_bounds[term_id] = refined
+                    changed = True
+            new_bounds = _contract(constraint, True, analysis, dict(bounds))
+            if new_bounds is None:
+                return False, bounds
+            for name, interval in new_bounds.items():
+                if interval.is_empty:
+                    return False, bounds
+                if interval != bounds.get(name):
+                    bounds[name] = interval
+                    changed = True
+            if changed:
+                analysis = IntervalAnalysis(bounds, term_bounds)
+        if not changed:
+            break
+    if any(interval.is_empty for interval in bounds.values()):
+        return False, bounds
+    return True, bounds
+
+
+def _learn_term_bounds(
+    constraint: Term, analysis: "IntervalAnalysis"
+) -> Dict[int, Interval]:
+    """Derive bounds on *expression nodes* from a comparison constraint.
+
+    Only direct comparisons (and conjunctions of them) against other terms
+    are mined; the learned bound is attached to the non-constant side's node
+    identity so it is shared wherever that node reappears.
+    """
+    learned: Dict[int, Interval] = {}
+    stack = [constraint]
+    while stack:
+        term = stack.pop()
+        if term.kind is TermKind.BAND:
+            stack.extend(term.args)
+            continue
+        if term.kind not in _UNSIGNED_COMPARISONS or term.kind is TermKind.NE:
+            continue
+        left, right = term.args
+        left_iv = analysis.interval(left)
+        right_iv = analysis.interval(right)
+        if left_iv.is_empty or right_iv.is_empty:
+            continue
+        if term.kind is TermKind.EQ:
+            meet = left_iv.intersect(right_iv)
+            _note(learned, left, meet)
+            _note(learned, right, meet)
+        elif term.kind is TermKind.ULT:
+            _note(learned, left, Interval(0, right_iv.hi - 1))
+            _note(learned, right, Interval(left_iv.lo + 1, mask(right.width)))
+        elif term.kind is TermKind.ULE:
+            _note(learned, left, Interval(0, right_iv.hi))
+            _note(learned, right, Interval(left_iv.lo, mask(right.width)))
+        elif term.kind is TermKind.UGT:
+            _note(learned, right, Interval(0, left_iv.hi - 1))
+            _note(learned, left, Interval(right_iv.lo + 1, mask(left.width)))
+        elif term.kind is TermKind.UGE:
+            _note(learned, right, Interval(0, left_iv.hi))
+            _note(learned, left, Interval(right_iv.lo, mask(left.width)))
+    return learned
+
+
+def _note(learned: Dict[int, Interval], term: Term, interval: Interval) -> None:
+    if term.kind in (TermKind.BV_CONST, TermKind.BV_VAR):
+        return
+    existing = learned.get(id(term))
+    learned[id(term)] = interval if existing is None else existing.intersect(interval)
+
+
+def _contract(
+    constraint: Term,
+    polarity: bool,
+    analysis: IntervalAnalysis,
+    bounds: Dict[str, Interval],
+) -> Optional[Dict[str, Interval]]:
+    """Refine variable bounds so that ``constraint == polarity`` can hold.
+
+    Returns the refined bounds, or ``None`` when the constraint is
+    contradictory under the current bounds.
+    """
+    kind = constraint.kind
+    if kind is TermKind.BOOL_CONST:
+        return bounds if bool(constraint.value) == polarity else None
+    if kind is TermKind.BNOT:
+        return _contract(constraint.args[0], not polarity, analysis, bounds)
+    if kind is TermKind.BAND and polarity:
+        for arg in constraint.args:
+            refined = _contract(arg, True, analysis, bounds)
+            if refined is None:
+                return None
+            bounds = refined
+        return bounds
+    if kind is TermKind.BOR and not polarity:
+        for arg in constraint.args:
+            refined = _contract(arg, False, analysis, bounds)
+            if refined is None:
+                return None
+            bounds = refined
+        return bounds
+    if kind in _UNSIGNED_COMPARISONS:
+        effective = kind if polarity else _NEGATED[kind]
+        return _contract_comparison(effective, constraint.args[0], constraint.args[1], analysis, bounds)
+    # Disjunctions under positive polarity (and other connectives) are not
+    # contracted — that would require splitting; the portfolio solver falls
+    # back to sampling / bit-blasting for those.
+    return bounds
+
+
+_NEGATED = {
+    TermKind.EQ: TermKind.NE,
+    TermKind.NE: TermKind.EQ,
+    TermKind.ULT: TermKind.UGE,
+    TermKind.ULE: TermKind.UGT,
+    TermKind.UGT: TermKind.ULE,
+    TermKind.UGE: TermKind.ULT,
+}
+
+
+def _contract_comparison(
+    kind: TermKind,
+    left: Term,
+    right: Term,
+    analysis: IntervalAnalysis,
+    bounds: Dict[str, Interval],
+) -> Optional[Dict[str, Interval]]:
+    left_iv = analysis.interval(left)
+    right_iv = analysis.interval(right)
+    if left_iv.is_empty or right_iv.is_empty:
+        return None
+
+    if kind is TermKind.EQ:
+        meet = left_iv.intersect(right_iv)
+        if meet.is_empty:
+            return None
+        bounds = _push_down(left, meet, bounds)
+        if bounds is None:
+            return None
+        return _push_down(right, meet, bounds)
+    if kind is TermKind.NE:
+        if left_iv.is_point and right_iv.is_point and left_iv.lo == right_iv.lo:
+            return None
+        return bounds
+    if kind is TermKind.ULT:
+        new_left = left_iv.intersect(Interval(0, right_iv.hi - 1))
+        new_right = right_iv.intersect(Interval(left_iv.lo + 1, mask(right.width)))
+        if new_left.is_empty or new_right.is_empty:
+            return None
+        bounds = _push_down(left, new_left, bounds)
+        if bounds is None:
+            return None
+        return _push_down(right, new_right, bounds)
+    if kind is TermKind.ULE:
+        new_left = left_iv.intersect(Interval(0, right_iv.hi))
+        new_right = right_iv.intersect(Interval(left_iv.lo, mask(right.width)))
+        if new_left.is_empty or new_right.is_empty:
+            return None
+        bounds = _push_down(left, new_left, bounds)
+        if bounds is None:
+            return None
+        return _push_down(right, new_right, bounds)
+    if kind is TermKind.UGT:
+        return _contract_comparison(TermKind.ULT, right, left, analysis, bounds)
+    if kind is TermKind.UGE:
+        return _contract_comparison(TermKind.ULE, right, left, analysis, bounds)
+    return bounds
+
+
+def _push_down(
+    term: Term, target: Interval, bounds: Dict[str, Interval]
+) -> Optional[Dict[str, Interval]]:
+    """Propagate a required output interval backwards into variable bounds.
+
+    Only structurally invertible operators are handled; everything else is a
+    no-op (sound: the bounds simply stay wider).
+    """
+    if bounds is None:
+        return None
+    kind = term.kind
+    if kind is TermKind.BV_VAR:
+        name = str(term.name)
+        current = bounds.get(name, Interval.full(term.width))
+        refined = current.intersect(target)
+        if refined.is_empty:
+            return None
+        new_bounds = dict(bounds)
+        new_bounds[name] = refined
+        return new_bounds
+    if kind is TermKind.BV_CONST:
+        return bounds if term.value in target else None
+    if kind is TermKind.ZEXT:
+        return _push_down(term.args[0], target.widen_to(term.args[0].width), bounds)
+    if kind is TermKind.EXTRACT:
+        high, low = term.params
+        if low == 0:
+            inner = term.args[0]
+            # The low bits being in [lo, hi] does not bound the high bits,
+            # unless the extract covers the whole operand.
+            if high == inner.width - 1:
+                return _push_down(inner, target, bounds)
+        return bounds
+    if kind is TermKind.ADD:
+        left, right = term.args
+        if right.kind is TermKind.BV_CONST:
+            offset = right.value
+            shifted = Interval(target.lo - offset, target.hi - offset)
+            if shifted.lo < 0:
+                return bounds
+            return _push_down(left, shifted, bounds)
+        if left.kind is TermKind.BV_CONST:
+            offset = left.value
+            shifted = Interval(target.lo - offset, target.hi - offset)
+            if shifted.lo < 0:
+                return bounds
+            return _push_down(right, shifted, bounds)
+        return bounds
+    if kind is TermKind.MUL:
+        left, right = term.args
+        if right.kind is TermKind.BV_CONST and right.value > 0:
+            factor = right.value
+            shrunk = Interval(
+                (target.lo + factor - 1) // factor, target.hi // factor
+            )
+            return _push_down(left, shrunk, bounds)
+        if left.kind is TermKind.BV_CONST and left.value > 0:
+            factor = left.value
+            shrunk = Interval(
+                (target.lo + factor - 1) // factor, target.hi // factor
+            )
+            return _push_down(right, shrunk, bounds)
+        return bounds
+    if kind is TermKind.SHL:
+        base, amount = term.args
+        if amount.kind is TermKind.BV_CONST and amount.value < term.width:
+            shift = amount.value
+            shrunk = Interval(
+                (target.lo + (1 << shift) - 1) >> shift, target.hi >> shift
+            )
+            return _push_down(base, shrunk, bounds)
+        return bounds
+    if kind is TermKind.LSHR:
+        base, amount = term.args
+        if amount.kind is TermKind.BV_CONST and amount.value < term.width:
+            shift = amount.value
+            grown = Interval(target.lo << shift, ((target.hi + 1) << shift) - 1)
+            return _push_down(base, grown.widen_to(base.width), bounds)
+        return bounds
+    if kind is TermKind.UDIV:
+        base, divisor = term.args
+        if divisor.kind is TermKind.BV_CONST and divisor.value > 0:
+            d = divisor.value
+            grown = Interval(target.lo * d, target.hi * d + d - 1)
+            return _push_down(base, grown.widen_to(base.width), bounds)
+        return bounds
+    return bounds

@@ -1,0 +1,415 @@
+"""A CDCL SAT solver.
+
+This is the complete decision procedure backing the portfolio solver: when
+the cheap layers (simplification, interval propagation, sampling) cannot
+decide a bitvector constraint, the constraint is bit-blasted to CNF and
+handed to this solver.
+
+The implementation follows the standard conflict-driven clause learning
+recipe: two-watched-literal propagation, first-UIP conflict analysis, VSIDS
+branching with phase saving, Luby restarts and learned-clause deletion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.smt.cnf import CNF
+
+
+class SatStatus:
+    """Status constants returned by :meth:`CDCLSolver.solve`."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT query."""
+
+    status: str
+    assignment: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SatStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == SatStatus.UNSAT
+
+
+class _Clause:
+    """A clause with two watched literals (the first two positions)."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __repr__(self) -> str:
+        return f"Clause({self.literals})"
+
+
+class CDCLSolver:
+    """Conflict-driven clause learning SAT solver over a :class:`CNF`."""
+
+    def __init__(
+        self,
+        cnf: CNF,
+        max_conflicts: Optional[int] = None,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+    ) -> None:
+        self.num_vars = cnf.num_vars
+        self.max_conflicts = max_conflicts
+        self.var_decay = var_decay
+        self.clause_decay = clause_decay
+
+        # Assignment state: index by variable (1-based).
+        self.assigns: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[_Clause]] = [None] * (self.num_vars + 1)
+        self.saved_phase: List[bool] = [False] * (self.num_vars + 1)
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.clause_inc = 1.0
+
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.propagation_head = 0
+
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.watches: Dict[int, List[_Clause]] = {}
+
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+
+        self._contradiction = cnf.has_contradiction
+        for clause in cnf.clauses:
+            if not self._add_clause(list(clause), learned=False):
+                self._contradiction = True
+                break
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def _watch(self, literal: int, clause: _Clause) -> None:
+        self.watches.setdefault(literal, []).append(clause)
+
+    def _add_clause(self, literals: List[int], learned: bool) -> bool:
+        """Add a clause; returns ``False`` if it makes the formula unsat."""
+        literals = list(dict.fromkeys(literals))
+        if any(-lit in literals for lit in literals):
+            return True
+        if not literals:
+            return False
+        if len(literals) == 1:
+            value = self._value(literals[0])
+            if value is False:
+                return False
+            if value is None:
+                self._assign(literals[0], None)
+            return True
+        clause = _Clause(literals, learned=learned)
+        if learned:
+            self.learned.append(clause)
+        else:
+            self.clauses.append(clause)
+        self._watch(literals[0], clause)
+        self._watch(literals[1], clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> Optional[bool]:
+        assigned = self.assigns[abs(literal)]
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _assign(self, literal: int, reason: Optional[_Clause]) -> None:
+        var = abs(literal)
+        self.assigns[var] = literal > 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.saved_phase[var] = literal > 0
+        self.trail.append(literal)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        cut = self.trail_lim[target_level]
+        for literal in self.trail[cut:]:
+            var = abs(literal)
+            self.assigns[var] = None
+            self.reason[var] = None
+        del self.trail[cut:]
+        del self.trail_lim[target_level:]
+        self.propagation_head = min(self.propagation_head, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit-propagate; returns a conflicting clause or ``None``."""
+        while self.propagation_head < len(self.trail):
+            literal = self.trail[self.propagation_head]
+            self.propagation_head += 1
+            self.propagations += 1
+            falsified = -literal
+            watchers = self.watches.get(falsified, [])
+            new_watchers: List[_Clause] = []
+            index = 0
+            conflict: Optional[_Clause] = None
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                literals = clause.literals
+                # Normalise so literals[0] is the other watched literal.
+                if literals[0] == falsified:
+                    literals[0], literals[1] = literals[1], literals[0]
+                if self._value(literals[0]) is True:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for alt in range(2, len(literals)):
+                    if self._value(literals[alt]) is not False:
+                        literals[1], literals[alt] = literals[alt], literals[1]
+                        self._watch(literals[1], clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(clause)
+                if self._value(literals[0]) is False:
+                    # Conflict: keep remaining watchers and report.
+                    new_watchers.extend(watchers[index:])
+                    conflict = clause
+                    break
+                self._assign(literals[0], clause)
+            self.watches[falsified] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = 0
+        clause: Optional[_Clause] = conflict
+        trail_index = len(self.trail) - 1
+
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            for clause_literal in clause.literals:
+                var = abs(clause_literal)
+                # Skip the literal this clause propagated (the reason clause
+                # of a variable contains the variable itself).
+                if literal != 0 and var == abs(literal):
+                    continue
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learned.append(clause_literal)
+            # Select the next literal to expand from the trail.
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            literal = self.trail[trail_index]
+            trail_index -= 1
+            var = abs(literal)
+            seen[var] = False
+            counter -= 1
+            clause = self.reason[var]
+            if counter == 0:
+                break
+        learned[0] = -literal
+
+        # Compute the backjump level (second-highest level in the clause).
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            levels = sorted((self.level[abs(lit)] for lit in learned[1:]), reverse=True)
+            backjump = levels[0]
+        return learned, backjump
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learned:
+            clause.activity += self.clause_inc
+            if clause.activity > 1e20:
+                for learned in self.learned:
+                    learned.activity *= 1e-20
+                self.clause_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self.clause_inc /= self.clause_decay
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assigns[var] is None and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Learned clause management
+    # ------------------------------------------------------------------
+    def _reduce_learned(self) -> None:
+        if len(self.learned) < 2000:
+            return
+        self.learned.sort(key=lambda c: c.activity)
+        keep_from = len(self.learned) // 2
+        removed = set(id(c) for c in self.learned[:keep_from] if len(c) > 2)
+        if not removed:
+            return
+        self.learned = [c for c in self.learned if id(c) not in removed]
+        for literal in list(self.watches):
+            self.watches[literal] = [
+                c for c in self.watches[literal] if id(c) not in removed
+            ]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the formula under optional assumption literals.
+
+        Assumptions are applied as root-level unit clauses; this solver is
+        not incremental, so that is equivalent to (and simpler than) the
+        assumption-literal mechanism of incremental solvers.
+        """
+        if self._contradiction:
+            return SatResult(SatStatus.UNSAT)
+        for literal in assumptions:
+            if not self._add_clause([literal], learned=False):
+                return SatResult(SatStatus.UNSAT)
+
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(SatStatus.UNSAT)
+
+        restart_threshold = 100
+        luby = _luby_sequence()
+        next_restart = restart_threshold * next(luby)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self._decision_level() == 0:
+                    return self._result(SatStatus.UNSAT)
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                self._learn(learned)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+                    return self._result(SatStatus.UNKNOWN)
+                if self.conflicts >= next_restart:
+                    self.restarts += 1
+                    next_restart = self.conflicts + restart_threshold * next(luby)
+                    self._backtrack(0)
+                    self._reduce_learned()
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                assignment = {
+                    var: bool(self.assigns[var]) for var in range(1, self.num_vars + 1)
+                }
+                return self._result(SatStatus.SAT, assignment)
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            phase = self.saved_phase[variable]
+            self._assign(variable if phase else -variable, None)
+
+    def _learn(self, learned: List[int]) -> None:
+        if len(learned) == 1:
+            self._assign(learned[0], None)
+            return
+        literals = list(learned)
+        # Watch the asserting literal (position 0) and, to keep the watch
+        # invariant intact across later backtracking, the literal assigned at
+        # the highest remaining decision level (position 1).
+        best = max(range(1, len(literals)), key=lambda i: self.level[abs(literals[i])])
+        literals[1], literals[best] = literals[best], literals[1]
+        clause = _Clause(literals, learned=True)
+        self.learned.append(clause)
+        self._watch(literals[0], clause)
+        self._watch(literals[1], clause)
+        self._assign(literals[0], clause)
+
+    def _result(self, status: str, assignment: Optional[Dict[int, bool]] = None) -> SatResult:
+        return SatResult(
+            status=status,
+            assignment=assignment,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+            restarts=self.restarts,
+        )
+
+
+def _luby_sequence():
+    """Generate the Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ..."""
+    for index in itertools.count(1):
+        yield _luby(index)
+
+
+def _luby(index: int) -> int:
+    """The index-th element (1-based) of the Luby sequence."""
+    while True:
+        k = index.bit_length()
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        index -= (1 << (k - 1)) - 1
+
+
+def solve_cnf(cnf: CNF, max_conflicts: Optional[int] = None) -> SatResult:
+    """Convenience wrapper: solve a CNF formula from scratch."""
+    return CDCLSolver(cnf, max_conflicts=max_conflicts).solve()

@@ -1,0 +1,302 @@
+"""The portfolio solver front end.
+
+This is the component the rest of the system treats as "the SMT solver" (the
+role played by Z3 in the paper).  A query is a conjunction of boolean terms
+over bitvector variables; the answer is SAT with a model, UNSAT, or UNKNOWN.
+
+The portfolio runs, in order:
+
+1. **Simplification** — constant folding may already decide the query.
+2. **Interval propagation** — an HC4-style contractor over the conjunction;
+   an empty box is a proof of unsatisfiability, and the contracted box feeds
+   the later layers.
+3. **Algebraic heuristics** — extreme-point candidates tuned to the shape of
+   overflow constraints.
+4. **Guided random sampling** — boundary-biased sampling plus hill climbing.
+5. **Bit-blasting + CDCL** — the complete fallback.
+
+Layers 3 and 4 can only return SAT (with a checked model); layer 2 can only
+return UNSAT; layer 5 is complete but is budgeted by a conflict limit so the
+front end degrades to UNKNOWN rather than hanging on adversarial queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.smt import builder as b
+from repro.smt.bitblast import BitBlaster, BitBlastError
+from repro.smt.evalmodel import Model, satisfies
+from repro.smt.heuristics import try_algebraic_solution
+from repro.smt.interval import Interval, propagate_intervals
+from repro.smt.sampler import ModelSampler, SamplerConfig, split_conjuncts
+from repro.smt.sat import CDCLSolver, SatStatus
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term, TermKind
+
+
+class SolverStatus:
+    """Status constants for :class:`SolverResult`."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a portfolio query."""
+
+    status: str
+    model: Optional[Model] = None
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    stages_tried: Tuple[str, ...] = ()
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SolverStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == SolverStatus.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == SolverStatus.UNKNOWN
+
+
+@dataclass
+class SolverConfig:
+    """Tuning knobs for :class:`PortfolioSolver`."""
+
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    enable_bitblast: bool = True
+    bitblast_max_conflicts: int = 200_000
+    bitblast_max_width: int = 64
+    heuristic_max_checks: int = 768
+    seed: Optional[int] = 0
+
+
+class PortfolioSolver:
+    """Layered QF_BV solver: simplify → intervals → heuristics → sampling → CDCL."""
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config or SolverConfig()
+        self.query_count = 0
+        self.stage_hits: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(self, constraints: Iterable[Term]) -> SolverResult:
+        """Decide the conjunction of ``constraints``."""
+        started = time.perf_counter()
+        self.query_count += 1
+        constraint_list = [simplify(c) for c in constraints]
+        stages: List[str] = []
+
+        # Layer 1: simplification may already decide the query.
+        stages.append("simplify")
+        decided = self._decide_by_simplification(constraint_list)
+        if decided is not None:
+            return self._finish(decided, started, stages)
+
+        conjuncts: List[Term] = []
+        for constraint in constraint_list:
+            conjuncts.extend(split_conjuncts(constraint))
+        variables = self._collect_variables(conjuncts)
+        widths = {str(v.name): v.width for v in variables}
+
+        # Layer 2: interval propagation (UNSAT proofs + bounds for later layers).
+        stages.append("intervals")
+        feasible, bounds = propagate_intervals(conjuncts, widths)
+        if not feasible:
+            return self._finish(
+                SolverResult(SolverStatus.UNSAT, reason="interval propagation"),
+                started,
+                stages,
+            )
+        point_model = self._point_model_if_determined(variables, bounds)
+        if point_model is not None and all(
+            satisfies(c, point_model) for c in conjuncts
+        ):
+            return self._finish(
+                SolverResult(SolverStatus.SAT, model=point_model, reason="interval point"),
+                started,
+                stages,
+            )
+
+        whole = b.band(*conjuncts) if conjuncts else b.TRUE
+
+        # Layer 3: algebraic extreme-point heuristics.
+        stages.append("heuristics")
+        model = try_algebraic_solution(
+            whole, variables, max_checks=self.config.heuristic_max_checks
+        )
+        if model is not None:
+            return self._finish(
+                SolverResult(SolverStatus.SAT, model=model, reason="heuristics"),
+                started,
+                stages,
+            )
+
+        # Layer 4: guided sampling.
+        stages.append("sampling")
+        sampler = ModelSampler(
+            whole,
+            variables,
+            config=self.config.sampler,
+            fallback_solve=None,
+        )
+        model = sampler.sample_one()
+        if model is not None:
+            return self._finish(
+                SolverResult(SolverStatus.SAT, model=model, reason="sampling"),
+                started,
+                stages,
+            )
+
+        # Layer 5: complete bit-blasting backend.
+        if self.config.enable_bitblast and self._blastable(conjuncts):
+            stages.append("bitblast")
+            status, model = self._bitblast(conjuncts)
+            if status == SatStatus.SAT and model is not None:
+                restricted = model.restricted_to(widths)
+                return self._finish(
+                    SolverResult(SolverStatus.SAT, model=restricted, reason="bitblast"),
+                    started,
+                    stages,
+                )
+            if status == SatStatus.UNSAT:
+                return self._finish(
+                    SolverResult(SolverStatus.UNSAT, reason="bitblast"),
+                    started,
+                    stages,
+                )
+
+        return self._finish(
+            SolverResult(SolverStatus.UNKNOWN, reason="portfolio exhausted"),
+            started,
+            stages,
+        )
+
+    def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
+        """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""
+        result = self.check(constraints)
+        return result.model if result.is_sat else None
+
+    def sample_models(
+        self,
+        constraints: Iterable[Term],
+        count: int,
+        seed: Optional[int] = None,
+    ) -> List[Model]:
+        """Sample up to ``count`` models of the conjunction (with replacement)."""
+        constraint_list = [simplify(c) for c in constraints]
+        conjuncts: List[Term] = []
+        for constraint in constraint_list:
+            conjuncts.extend(split_conjuncts(constraint))
+        variables = self._collect_variables(conjuncts)
+        whole = b.band(*conjuncts) if conjuncts else b.TRUE
+        config = SamplerConfig(
+            random_attempts_per_sample=self.config.sampler.random_attempts_per_sample,
+            hill_climb_steps=self.config.sampler.hill_climb_steps,
+            seed=seed if seed is not None else self.config.sampler.seed,
+            boundary_bias=self.config.sampler.boundary_bias,
+            perturbation_attempts=self.config.sampler.perturbation_attempts,
+        )
+        sampler = ModelSampler(
+            whole,
+            variables,
+            config=config,
+            fallback_solve=lambda c: self.solve_for_model([c]),
+        )
+        return sampler.sample(count)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _finish(
+        self, result: SolverResult, started: float, stages: List[str]
+    ) -> SolverResult:
+        result.elapsed_seconds = time.perf_counter() - started
+        result.stages_tried = tuple(stages)
+        self.stage_hits[result.reason] = self.stage_hits.get(result.reason, 0) + 1
+        if result.is_sat and result.model is None:
+            raise AssertionError("SAT result without a model")
+        return result
+
+    @staticmethod
+    def _decide_by_simplification(constraints: Sequence[Term]) -> Optional[SolverResult]:
+        all_true = True
+        for constraint in constraints:
+            if constraint.kind is TermKind.BOOL_CONST:
+                if not constraint.value:
+                    return SolverResult(SolverStatus.UNSAT, reason="simplify")
+            else:
+                all_true = False
+        if all_true:
+            return SolverResult(SolverStatus.SAT, model=Model(), reason="simplify")
+        return None
+
+    @staticmethod
+    def _collect_variables(conjuncts: Sequence[Term]) -> List[Term]:
+        seen: Dict[str, Term] = {}
+        for conjunct in conjuncts:
+            for variable in conjunct.variables():
+                if variable.is_bv:
+                    seen.setdefault(str(variable.name), variable)
+        return [seen[name] for name in sorted(seen)]
+
+    @staticmethod
+    def _point_model_if_determined(
+        variables: Sequence[Term], bounds: Dict[str, Interval]
+    ) -> Optional[Model]:
+        model = Model()
+        for variable in variables:
+            interval = bounds.get(str(variable.name))
+            if interval is None or not interval.is_point:
+                return None
+            model[str(variable.name)] = interval.lo
+        return model if len(model) == len(variables) else None
+
+    def _blastable(self, conjuncts: Sequence[Term]) -> bool:
+        node_budget = 4000
+        wide_multiplications = 0
+        nodes = 0
+        for conjunct in conjuncts:
+            for term in conjunct.subterms():
+                nodes += 1
+                if nodes > node_budget:
+                    return False
+                if term.is_bv and term.width > self.config.bitblast_max_width:
+                    return False
+                if (
+                    term.kind is TermKind.MUL
+                    and term.width is not None
+                    and term.width > 32
+                    and not any(a.is_const for a in term.args)
+                ):
+                    wide_multiplications += 1
+        # Each wide variable×variable multiplier costs thousands of clauses;
+        # a pure-Python CDCL run over several of them will not finish in a
+        # useful amount of time, so the portfolio degrades to UNKNOWN instead.
+        return wide_multiplications <= 2
+
+    def _bitblast(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        try:
+            blaster = BitBlaster()
+            for conjunct in conjuncts:
+                blaster.assert_constraint(conjunct)
+            solver = CDCLSolver(
+                blaster.cnf, max_conflicts=self.config.bitblast_max_conflicts
+            )
+            result = solver.solve()
+        except (BitBlastError, RecursionError, MemoryError):
+            return SatStatus.UNKNOWN, None
+        if result.status == SatStatus.SAT:
+            return SatStatus.SAT, blaster.extract_model(result)
+        return result.status, None

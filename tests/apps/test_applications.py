@@ -1,0 +1,129 @@
+"""Structural tests for the five benchmark application models."""
+
+import pytest
+
+from repro.apps import all_applications, application_names, get_application
+from repro.apps.appbase import Application
+from repro.core.sites import identify_target_sites
+from repro.exec.concrete import ConcreteInterpreter
+from repro.exec.trace import ExecutionOutcome
+
+
+class TestRegistry:
+    def test_all_five_applications_available(self):
+        assert set(application_names()) == {
+            "dillo",
+            "vlc",
+            "swfplay",
+            "cwebp",
+            "imagemagick",
+        }
+
+    def test_get_application_case_insensitive(self):
+        assert get_application("DILLO").name == "Dillo 2.1"
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError):
+            get_application("firefox")
+
+    def test_all_applications_builds_each_once(self):
+        apps = all_applications()
+        assert len(apps) == 5
+        assert all(isinstance(app, Application) for app in apps)
+
+
+class TestPaperGroundTruthCounts:
+    """The expectations encode Table 1 of the paper."""
+
+    def test_total_target_sites_is_40(self, all_apps):
+        assert sum(app.expected_total_sites() for app in all_apps) == 40
+
+    def test_exposed_overflows_total_14(self, all_apps):
+        assert sum(app.expected_counts()["exposed"] for app in all_apps) == 14
+
+    def test_unsatisfiable_total_17(self, all_apps):
+        assert sum(app.expected_counts()["unsatisfiable"] for app in all_apps) == 17
+
+    def test_prevented_total_9(self, all_apps):
+        assert sum(app.expected_counts()["prevented"] for app in all_apps) == 9
+
+    @pytest.mark.parametrize(
+        "name,total,exposed,unsat,prevented",
+        [
+            ("dillo", 12, 3, 1, 8),
+            ("vlc", 4, 4, 0, 0),
+            ("swfplay", 8, 3, 5, 0),
+            ("cwebp", 7, 1, 6, 0),
+            ("imagemagick", 9, 3, 5, 1),
+        ],
+    )
+    def test_per_application_rows(self, name, total, exposed, unsat, prevented):
+        app = get_application(name)
+        counts = app.expected_counts()
+        assert app.expected_total_sites() == total
+        assert counts["exposed"] == exposed
+        assert counts["unsatisfiable"] == unsat
+        assert counts["prevented"] == prevented
+
+    def test_known_cves_recorded(self):
+        assert get_application("dillo").known_cves["png.c@203"] == "CVE-2009-2294"
+        assert get_application("vlc").known_cves["wav.c@147"] == "CVE-2008-2430"
+        assert (
+            get_application("imagemagick").known_cves["xwindow.c@5619"]
+            == "CVE-2009-1882"
+        )
+
+    def test_three_previously_known_overflows(self, all_apps):
+        assert sum(len(app.known_cves) for app in all_apps) == 3
+
+    def test_enforced_branch_expectations(self, all_apps):
+        enforced = [
+            e.enforced_branches
+            for app in all_apps
+            for e in app.expectations
+            if e.classification == "exposed"
+        ]
+        assert len(enforced) == 14
+        assert enforced.count(0) == 9
+        assert all(2 <= count <= 5 for count in enforced if count)
+
+
+class TestSeedInputs:
+    def test_seed_runs_complete_without_errors(self, all_apps):
+        for app in all_apps:
+            report = ConcreteInterpreter(app.program).run(app.seed_input)
+            assert report.outcome is ExecutionOutcome.COMPLETED, app.name
+            assert report.memory_errors == [], app.name
+            assert report.halt_message == "", app.name
+
+    def test_seed_exercises_every_expected_site(self, all_apps):
+        for app in all_apps:
+            sites = identify_target_sites(app.program, app.seed_input)
+            found = {site.site_tag for site in sites}
+            expected = {e.tag for e in app.expectations}
+            assert found == expected, app.name
+
+    def test_seed_dissects_against_format(self, all_apps):
+        for app in all_apps:
+            dissected = app.format_spec.dissect(app.seed_input)
+            assert dissected.field_values(), app.name
+
+    def test_relevant_bytes_fall_in_mutable_fields(self, all_apps):
+        """Every exposed site's relevant bytes must be rewritable, otherwise
+        DIODE could never generate a triggering input for it."""
+        for app in all_apps:
+            exposed_tags = {
+                e.tag for e in app.expectations if e.classification == "exposed"
+            }
+            for site in identify_target_sites(app.program, app.seed_input):
+                if site.site_tag not in exposed_tags:
+                    continue
+                for offset in site.relevant_bytes:
+                    field = app.format_spec.field_at_offset(offset)
+                    assert field is not None and field.mutable, (
+                        f"{app.name} {site.site_tag} byte {offset}"
+                    )
+
+    def test_expectation_lookup_helper(self, dillo_app):
+        assert dillo_app.expectation_for("png.c@203").cve == "CVE-2009-2294"
+        assert dillo_app.expectation_for("nonexistent") is None

@@ -1,0 +1,50 @@
+"""Shared fixtures: application models and cached DIODE analyses.
+
+Building an application model and running the full pipeline are cheap
+(sub-second) but not free; the integration tests share a single analysis per
+application through session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_application
+from repro.core import Diode
+
+
+@pytest.fixture(scope="session")
+def dillo_app():
+    return get_application("dillo")
+
+
+@pytest.fixture(scope="session")
+def vlc_app():
+    return get_application("vlc")
+
+
+@pytest.fixture(scope="session")
+def swfplay_app():
+    return get_application("swfplay")
+
+
+@pytest.fixture(scope="session")
+def cwebp_app():
+    return get_application("cwebp")
+
+
+@pytest.fixture(scope="session")
+def imagemagick_app():
+    return get_application("imagemagick")
+
+
+@pytest.fixture(scope="session")
+def all_apps(dillo_app, vlc_app, swfplay_app, cwebp_app, imagemagick_app):
+    return [dillo_app, vlc_app, swfplay_app, cwebp_app, imagemagick_app]
+
+
+@pytest.fixture(scope="session")
+def analysis_results(all_apps):
+    """Full DIODE analysis of every benchmark application (cached)."""
+    engine = Diode()
+    return {app.name: engine.analyze(app) for app in all_apps}

@@ -1,0 +1,118 @@
+"""Tests for the baseline input-generation strategies."""
+
+import pytest
+
+from repro.core.baselines import (
+    EnforcedSampling,
+    FullPathEnforcement,
+    RandomByteFuzzer,
+    TaintDirectedFuzzer,
+    TargetOnlySampling,
+)
+from repro.core.detection import ErrorDetector
+from repro.core.enforcement import GoalDirectedEnforcer
+from repro.core.fieldmap import FieldMapper
+from repro.core.inputs import InputGenerator
+from repro.core.sites import identify_target_sites
+from repro.core.target import extract_target_observations
+from repro.smt.solver import PortfolioSolver
+
+from tests.core.test_enforcement_engine import MINI_SOURCE, MINI_SPEC, _mini_seed
+from repro.apps.appbase import Application
+from repro.lang.program import Program
+
+
+@pytest.fixture(scope="module")
+def mini_app():
+    program = Program.from_source(MINI_SOURCE, name="mini")
+    return Application(
+        name="Mini",
+        program=program,
+        format_spec=MINI_SPEC,
+        seed_input=_mini_seed(),
+    )
+
+
+def _observation(app, tag):
+    sites = identify_target_sites(app.program, app.seed_input)
+    site = next(s for s in sites if s.site_tag == tag)
+    mapper = FieldMapper(app.format_spec)
+    return extract_target_observations(
+        app.program, app.seed_input, site, field_mapper=mapper
+    )[0]
+
+
+class TestTargetOnlySampling:
+    def test_open_site_mostly_triggers(self, mini_app):
+        result = TargetOnlySampling(mini_app, seed=1).run(
+            _observation(mini_app, "open.c@2"), samples=25
+        )
+        assert result.attempts == 25
+        assert result.success_rate > 0.75
+
+    def test_guarded_site_rarely_triggers(self, mini_app):
+        result = TargetOnlySampling(mini_app, seed=1).run(
+            _observation(mini_app, "guarded.c@1"), samples=25
+        )
+        # The sanity checks reject essentially every raw target-constraint
+        # solution — the bimodal behaviour of the paper's Section 5.5.
+        assert result.success_rate < 0.3
+
+    def test_ratio_format(self, mini_app):
+        result = TargetOnlySampling(mini_app, seed=1).run(
+            _observation(mini_app, "open.c@2"), samples=5
+        )
+        assert result.ratio() == f"{result.successes}/5"
+
+
+class TestEnforcedSampling:
+    def test_enforced_sampling_raises_success_rate(self, mini_app):
+        observation = _observation(mini_app, "guarded.c@1")
+        enforcer = GoalDirectedEnforcer(
+            PortfolioSolver(),
+            InputGenerator(mini_app.seed_input, mini_app.format_spec),
+            ErrorDetector(mini_app.program, mini_app.seed_input),
+        )
+        enforcement = enforcer.run(observation)
+        assert enforcement.found_overflow
+        target_only = TargetOnlySampling(mini_app, seed=2).run(observation, samples=25)
+        enforced = EnforcedSampling(mini_app, seed=2).run(enforcement, samples=25)
+        assert enforced.success_rate > target_only.success_rate
+        assert enforced.success_rate > 0.4
+
+
+class TestFullPathEnforcement:
+    def test_open_site_full_path_satisfiable(self, mini_app):
+        result = FullPathEnforcement(mini_app).run(_observation(mini_app, "open.c@2"))
+        assert result.satisfiable is True
+        assert result.successes == result.attempts == 1
+
+    def test_reports_relevant_branch_count(self, mini_app):
+        result = FullPathEnforcement(mini_app).run(_observation(mini_app, "guarded.c@1"))
+        assert "relevant_branches" in result.details
+
+
+class TestFuzzers:
+    def test_random_fuzzer_runs_and_counts(self, mini_app):
+        sites = identify_target_sites(mini_app.program, mini_app.seed_input)
+        site = next(s for s in sites if s.site_tag == "guarded.c@1")
+        result = RandomByteFuzzer(mini_app, seed=3).run(site, attempts=30)
+        assert result.attempts == 30
+        assert 0 <= result.successes <= 30
+
+    def test_taint_directed_fuzzer_targets_relevant_bytes(self, mini_app):
+        sites = identify_target_sites(mini_app.program, mini_app.seed_input)
+        site = next(s for s in sites if s.site_tag == "open.c@2")
+        result = TaintDirectedFuzzer(mini_app, seed=3).run(site, attempts=30)
+        assert result.attempts == 30
+        # Fuzzing the 8 relevant bytes of an unchecked product site finds
+        # overflows reasonably often (the BuzzFuzz observation).
+        assert result.successes >= 1
+
+    def test_fuzzers_rarely_pass_sanity_checks(self, mini_app):
+        sites = identify_target_sites(mini_app.program, mini_app.seed_input)
+        site = next(s for s in sites if s.site_tag == "guarded.c@1")
+        random_result = RandomByteFuzzer(mini_app, seed=5).run(site, attempts=40)
+        directed_result = TaintDirectedFuzzer(mini_app, seed=5).run(site, attempts=40)
+        assert random_result.success_rate <= 0.2
+        assert directed_result.success_rate <= 0.5

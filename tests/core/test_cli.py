@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_application(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "unknown-app"])
+
+    def test_accepts_known_applications(self):
+        args = build_parser().parse_args(["analyze", "vlc"])
+        assert args.application == "vlc"
+
+
+class TestCommands:
+    def test_analyze_text_output(self, capsys):
+        assert main(["analyze", "vlc"]) == 0
+        out = capsys.readouterr().out
+        assert "VLC 0.8.6h" in out
+        assert "diode_exposes_overflow" in out
+
+    def test_analyze_json_output(self, capsys):
+        assert main(["analyze", "cwebp", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table1"]["total_target_sites"] == 7
+        assert len(payload["sites"]) == 7
+
+    def test_site_command_shows_enforcement_steps(self, capsys):
+        assert main(["site", "vlc", "dec.c@277"]) == 0
+        out = capsys.readouterr().out
+        assert "classification: diode_exposes_overflow" in out
+        assert "iteration 0" in out
+
+    def test_site_command_unknown_site(self, capsys):
+        assert main(["site", "vlc", "nothere.c@1"]) == 2
+        err = capsys.readouterr().err
+        assert "available" in err

@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end-to-end and produce the expected output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamples:
+    def test_quickstart_on_cwebp(self):
+        result = _run("quickstart.py", "cwebp")
+        assert result.returncode == 0, result.stderr
+        assert "jpegdec.c@248" in result.stdout
+        assert "7 target sites, 1 exposed" in result.stdout
+
+    def test_dillo_walkthrough(self):
+        result = _run("dillo_png_overflow.py")
+        assert result.returncode == 0, result.stderr
+        assert "target expression" in result.stdout
+        assert "TRIGGERS OVERFLOW" in result.stdout
+        assert "invalid memory accesses" in result.stdout
+
+    def test_custom_application(self):
+        result = _run("custom_application.py")
+        assert result.returncode == 0, result.stderr
+        assert "tga.c@animation" in result.stdout
+        assert "diode_exposes_overflow" in result.stdout

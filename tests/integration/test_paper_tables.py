@@ -1,0 +1,147 @@
+"""Integration tests: the reproduction matches the shape of the paper's tables.
+
+These tests run the full DIODE pipeline on all five application models (via
+the session-scoped ``analysis_results`` fixture) and assert the Table 1 /
+Table 2 shape described in the paper's evaluation section.
+"""
+
+import pytest
+
+from repro.core.report import SiteClassification
+
+
+def _result(analysis_results, name_fragment):
+    for name, result in analysis_results.items():
+        if name_fragment.lower() in name.lower():
+            return result
+    raise KeyError(name_fragment)
+
+
+class TestTable1Shape:
+    """Table 1: target site classification."""
+
+    def test_total_sites_40(self, analysis_results):
+        assert sum(r.total_target_sites for r in analysis_results.values()) == 40
+
+    def test_total_exposed_14(self, analysis_results):
+        assert sum(r.exposed_count for r in analysis_results.values()) == 14
+
+    def test_total_unsatisfiable_17(self, analysis_results):
+        assert sum(r.unsatisfiable_count for r in analysis_results.values()) == 17
+
+    def test_total_prevented_9(self, analysis_results):
+        assert sum(r.sanity_prevented_count for r in analysis_results.values()) == 9
+
+    def test_no_unresolved_sites(self, analysis_results):
+        for result in analysis_results.values():
+            for site_result in result.site_results:
+                assert site_result.classification is not SiteClassification.UNRESOLVED
+
+    @pytest.mark.parametrize(
+        "fragment,total,exposed,unsat,prevented",
+        [
+            ("dillo", 12, 3, 1, 8),
+            ("vlc", 4, 4, 0, 0),
+            ("swfplay", 8, 3, 5, 0),
+            ("cwebp", 7, 1, 6, 0),
+            ("imagemagick", 9, 3, 5, 1),
+        ],
+    )
+    def test_per_application_rows(
+        self, analysis_results, fragment, total, exposed, unsat, prevented
+    ):
+        result = _result(analysis_results, fragment)
+        assert result.total_target_sites == total
+        assert result.exposed_count == exposed
+        assert result.unsatisfiable_count == unsat
+        assert result.sanity_prevented_count == prevented
+
+    def test_every_classification_matches_expectation(self, analysis_results, all_apps):
+        mapping = {
+            "exposed": SiteClassification.OVERFLOW_EXPOSED,
+            "unsatisfiable": SiteClassification.TARGET_UNSATISFIABLE,
+            "prevented": SiteClassification.SANITY_PREVENTED,
+        }
+        for app in all_apps:
+            result = analysis_results[app.name]
+            by_tag = {sr.site.site_tag: sr for sr in result.site_results}
+            for expectation in app.expectations:
+                site_result = by_tag[expectation.tag]
+                assert site_result.classification is mapping[expectation.classification], (
+                    f"{app.name} {expectation.tag}"
+                )
+
+
+class TestTable2Shape:
+    """Table 2: per-overflow evaluation summary."""
+
+    def test_fourteen_bug_reports(self, analysis_results):
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        assert len(reports) == 14
+
+    def test_eleven_new_three_known(self, analysis_results):
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        known = [r for r in reports if r.cve.startswith("CVE")]
+        assert len(known) == 3
+        assert len(reports) - len(known) == 11
+
+    def test_majority_need_no_enforcement(self, analysis_results):
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        zero = [r for r in reports if r.enforced_branches == 0]
+        assert len(zero) >= 8
+
+    def test_enforced_counts_are_small(self, analysis_results):
+        """Sites that need enforcement need only a handful of branches
+        (2–5 in the paper; solver choices can shift a count by one or two)."""
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        nonzero = [r.enforced_branches for r in reports if r.enforced_branches > 0]
+        assert nonzero, "at least some sites require enforcement"
+        assert all(1 <= count <= 6 for count in nonzero)
+
+    def test_enforced_well_below_relevant_branches(self, analysis_results):
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        for report in reports:
+            if report.enforced_branches:
+                assert report.enforced_branches <= report.relevant_branches
+
+    def test_dillo_sites_need_enforcement(self, analysis_results):
+        result = _result(analysis_results, "dillo")
+        for report in result.bug_reports():
+            assert report.enforced_branches >= 1, report.target
+
+    def test_every_report_has_error_evidence(self, analysis_results):
+        reports = [r for result in analysis_results.values() for r in result.bug_reports()]
+        with_errors = [r for r in reports if r.error_type != "None"]
+        assert len(with_errors) >= 12
+
+    def test_triggering_inputs_verified_against_program(self, analysis_results, all_apps):
+        """Every reported input, replayed from scratch, wraps the target size."""
+        from repro.core.detection import ErrorDetector
+
+        for app in all_apps:
+            result = analysis_results[app.name]
+            detector = ErrorDetector(app.program, app.seed_input)
+            for site_result in result.site_results:
+                if site_result.bug_report is None:
+                    continue
+                site_label = site_result.site.site_label
+                evaluation = detector.evaluate(
+                    site_result.bug_report.triggering_input, site_label
+                )
+                assert evaluation.triggers_overflow, site_result.site.name
+
+    def test_discovery_times_are_reported(self, analysis_results):
+        for result in analysis_results.values():
+            assert result.analysis_seconds >= 0
+            for site_result in result.site_results:
+                assert site_result.discovery_seconds >= 0
+
+    def test_cve_assignments_match_paper(self, analysis_results):
+        reports = {
+            r.target: r
+            for result in analysis_results.values()
+            for r in result.bug_reports()
+        }
+        assert reports["png.c@203"].cve == "CVE-2009-2294"
+        assert reports["wav.c@147"].cve == "CVE-2008-2430"
+        assert reports["xwindow.c@5619"].cve == "CVE-2009-1882"

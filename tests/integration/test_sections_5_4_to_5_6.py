@@ -1,0 +1,140 @@
+"""Integration tests for the paper's Sections 5.4–5.6 experiments.
+
+* Section 5.4 — blocking checks: requiring the candidate to follow the whole
+  relevant seed path is unsatisfiable for the Dillo sites (the png_memset
+  style loop pins rowbytes), while the check-free sites stay satisfiable.
+* Section 5.5 — target-constraint-alone success rates are bimodal: near
+  total for applications without relevant sanity checks, near zero where
+  sanity checks exist.
+* Section 5.6 — adding the enforced branch constraints restores a high
+  success rate for the guarded sites.
+"""
+
+import pytest
+
+from repro.core.baselines import (
+    EnforcedSampling,
+    FullPathEnforcement,
+    RandomByteFuzzer,
+    TaintDirectedFuzzer,
+    TargetOnlySampling,
+)
+from repro.core.fieldmap import FieldMapper
+from repro.core.sites import identify_target_sites
+from repro.core.target import extract_target_observations
+
+SAMPLES = 40  # scaled-down version of the paper's 200-input experiments
+
+
+def _observation(app, tag):
+    sites = identify_target_sites(app.program, app.seed_input)
+    site = next(s for s in sites if s.site_tag == tag)
+    mapper = FieldMapper(app.format_spec)
+    return extract_target_observations(
+        app.program, app.seed_input, site, field_mapper=mapper
+    )[0]
+
+
+class TestSection54BlockingChecks:
+    def test_dillo_full_path_unsatisfiable(self, dillo_app):
+        for tag in ("png.c@203", "fltkimagebuf.cc@39", "Image.cxx@741"):
+            result = FullPathEnforcement(dillo_app).run(_observation(dillo_app, tag))
+            assert result.satisfiable is False, tag
+
+    def test_unchecked_sites_full_path_satisfiable(self, swfplay_app, cwebp_app):
+        swf = FullPathEnforcement(swfplay_app).run(
+            _observation(swfplay_app, "jpeg.c@192")
+        )
+        webp = FullPathEnforcement(cwebp_app).run(
+            _observation(cwebp_app, "jpegdec.c@248")
+        )
+        assert swf.satisfiable is True and swf.successes == 1
+        assert webp.satisfiable is True and webp.successes == 1
+
+    def test_vlc_guarded_site_full_path_blocked(self, vlc_app):
+        """The per-sample interleave loop pins the sample stride: forcing the
+        whole seed path cannot produce an overflow at dec.c@277.  The solver
+        either proves the conjunction unsatisfiable or, at worst, fails to
+        find any triggering input."""
+        result = FullPathEnforcement(vlc_app).run(_observation(vlc_app, "dec.c@277"))
+        assert result.satisfiable is not True
+        assert result.successes == 0
+
+
+class TestSection55TargetOnlySuccess:
+    def test_unchecked_sites_have_high_success(self, swfplay_app, imagemagick_app):
+        for app, tag in (
+            (swfplay_app, "jpeg_rgb_decoder.c@253"),
+            (imagemagick_app, "cache.c@803"),
+        ):
+            result = TargetOnlySampling(app, seed=7).run(_observation(app, tag), SAMPLES)
+            assert result.success_rate >= 0.75, tag
+
+    def test_guarded_sites_have_low_success(self, dillo_app, vlc_app):
+        for app, tag in ((dillo_app, "png.c@203"), (vlc_app, "dec.c@277")):
+            result = TargetOnlySampling(app, seed=7).run(_observation(app, tag), SAMPLES)
+            assert result.success_rate <= 0.25, tag
+
+    def test_wav_addition_site_solutions_trigger(self, vlc_app):
+        """CVE-2008-2430: every model of ``x + 2 wraps`` triggers the overflow."""
+        result = TargetOnlySampling(vlc_app, seed=7).run(
+            _observation(vlc_app, "wav.c@147"), SAMPLES
+        )
+        assert result.success_rate >= 0.9
+        assert result.satisfiable
+
+    def test_bimodal_distribution_across_all_exposed_sites(self, all_apps):
+        """Success rates cluster near 0 or near 1, not in the middle."""
+        rates = []
+        for app in all_apps:
+            exposed = {e.tag for e in app.expectations if e.classification == "exposed"}
+            for site in identify_target_sites(app.program, app.seed_input):
+                if site.site_tag not in exposed:
+                    continue
+                observation = _observation(app, site.site_tag)
+                result = TargetOnlySampling(app, seed=3).run(observation, samples=20)
+                rates.append(result.success_rate)
+        assert len(rates) == 14
+        middling = [r for r in rates if 0.35 < r < 0.65]
+        assert len(middling) <= 3
+
+
+class TestSection56EnforcedSuccess:
+    def test_enforcement_restores_success_rate_for_dillo(self, dillo_app, analysis_results):
+        result = analysis_results[dillo_app.name]
+        site_result = next(
+            sr for sr in result.site_results if sr.site.site_tag == "png.c@203"
+        )
+        enforcement = site_result.enforcement
+        assert enforcement is not None and enforcement.found_overflow
+        target_only = TargetOnlySampling(dillo_app, seed=9).run(
+            enforcement.observation, SAMPLES
+        )
+        enforced = EnforcedSampling(dillo_app, seed=9).run(enforcement, SAMPLES)
+        assert enforced.success_rate > target_only.success_rate
+        assert enforced.success_rate >= 0.4
+
+
+class TestFuzzingBaselines:
+    """The related-work comparison: fuzzing cannot navigate the sanity checks."""
+
+    def test_fuzzers_fail_on_guarded_dillo_site(self, dillo_app):
+        site = next(
+            s
+            for s in identify_target_sites(dillo_app.program, dillo_app.seed_input)
+            if s.site_tag == "png.c@203"
+        )
+        random_result = RandomByteFuzzer(dillo_app, seed=13).run(site, attempts=60)
+        directed_result = TaintDirectedFuzzer(dillo_app, seed=13).run(site, attempts=60)
+        assert random_result.success_rate <= 0.05
+        assert directed_result.success_rate <= 0.2
+
+    def test_directed_fuzzer_beats_random_on_unchecked_site(self, cwebp_app):
+        site = next(
+            s
+            for s in identify_target_sites(cwebp_app.program, cwebp_app.seed_input)
+            if s.site_tag == "jpegdec.c@248"
+        )
+        random_result = RandomByteFuzzer(cwebp_app, seed=13).run(site, attempts=60)
+        directed_result = TaintDirectedFuzzer(cwebp_app, seed=13).run(site, attempts=60)
+        assert directed_result.successes >= random_result.successes

@@ -1,0 +1,229 @@
+"""Tests for the DSL lexer and parser."""
+
+import pytest
+
+from repro.lang.ast import (
+    AllocStmt,
+    AssignStmt,
+    BinaryExpr,
+    BinaryOp,
+    CallExpr,
+    CallStmt,
+    ConstExpr,
+    HaltStmt,
+    IfStmt,
+    InputByteExpr,
+    LoadExpr,
+    ReturnStmt,
+    SkipStmt,
+    StoreStmt,
+    UnaryExpr,
+    UnaryOp,
+    VarExpr,
+    WarnStmt,
+    WhileStmt,
+)
+from repro.lang.lexer import LexError, Lexer, TokenKind
+from repro.lang.parser import ParseError, parse_program
+
+
+class TestLexer:
+    def _kinds(self, source):
+        return [t.kind for t in Lexer(source).tokens()]
+
+    def test_identifiers_and_numbers(self):
+        tokens = Lexer("width 42 0x1F").tokens()
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[1].value == 42
+        assert tokens[2].value == 0x1F
+
+    def test_keywords_recognised(self):
+        tokens = Lexer("if while proc halt").tokens()
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_underscore_separated_number(self):
+        assert Lexer("1_000_000").tokens()[0].value == 1_000_000
+
+    def test_string_literal_with_escape(self):
+        token = Lexer('"line\\none"').tokens()[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "line\none"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            Lexer('"oops').tokens()
+
+    def test_line_comments_skipped(self):
+        tokens = Lexer("# comment\nx // also\ny").tokens()
+        names = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert names == ["x", "y"]
+
+    def test_block_comments_skipped(self):
+        tokens = Lexer("a /* b c */ d").tokens()
+        names = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert names == ["a", "d"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            Lexer("/* never closed").tokens()
+
+    def test_multi_character_operators(self):
+        texts = [t.text for t in Lexer("a <= b << 2 && c != d").tokens()[:-1]]
+        assert "<=" in texts and "<<" in texts and "&&" in texts and "!=" in texts
+
+    def test_signed_operator_does_not_eat_identifiers(self):
+        tokens = Lexer("a <size").tokens()
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["a", "<", "size"]
+
+    def test_locations_tracked(self):
+        token = Lexer("a\n  b").tokens()[1]
+        assert token.loc.line == 2
+        assert token.loc.column == 3
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            Lexer("a $ b").tokens()
+
+
+def _parse_main(body: str):
+    unit = parse_program("proc main() { " + body + " }")
+    return unit.procedures["main"].body.statements
+
+
+class TestParserStatements:
+    def test_assignment(self):
+        (stmt,) = _parse_main("x = 1 + 2;")
+        assert isinstance(stmt, AssignStmt)
+        assert isinstance(stmt.value, BinaryExpr)
+
+    def test_alloc_with_tag(self):
+        (stmt,) = _parse_main('buf = alloc(size) @ "png.c@203";')
+        assert isinstance(stmt, AllocStmt)
+        assert stmt.tag == "png.c@203"
+
+    def test_store(self):
+        (stmt,) = _parse_main("buf[3] = 9;")
+        assert isinstance(stmt, StoreStmt)
+        assert stmt.base == "buf"
+
+    def test_load_expression(self):
+        (stmt,) = _parse_main("x = buf[i + 1];")
+        assert isinstance(stmt.value, LoadExpr)
+
+    def test_if_else(self):
+        (stmt,) = _parse_main("if (x > 3) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_else_if_chain(self):
+        (stmt,) = _parse_main(
+            "if (x > 3) { y = 1; } else if (x > 1) { y = 2; } else { y = 3; }"
+        )
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, IfStmt)
+
+    def test_while(self):
+        (stmt,) = _parse_main("while (i < 10) { i = i + 1; }")
+        assert isinstance(stmt, WhileStmt)
+
+    def test_halt_and_warn(self):
+        halt, warn = _parse_main('halt "bad"; warn "odd";')
+        assert isinstance(halt, HaltStmt) and halt.message == "bad"
+        assert isinstance(warn, WarnStmt) and warn.message == "odd"
+
+    def test_skip_and_return(self):
+        skip, ret = _parse_main("skip; return x + 1;")
+        assert isinstance(skip, SkipStmt)
+        assert isinstance(ret, ReturnStmt)
+
+    def test_call_statement(self):
+        (stmt,) = _parse_main("process(a, 2);")
+        assert isinstance(stmt, CallStmt)
+        assert stmt.callee == "process" and len(stmt.arguments) == 2
+
+    def test_call_expression(self):
+        (stmt,) = _parse_main("x = read_be32(16);")
+        assert isinstance(stmt.value, CallExpr)
+
+    def test_input_expression(self):
+        (stmt,) = _parse_main("x = input(4) + input(5);")
+        assert isinstance(stmt.value.left, InputByteExpr)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            _parse_main("x = 1")
+
+    def test_unknown_top_level_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("x = 1;")
+
+    def test_duplicate_procedure_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("proc f() { skip; } proc f() { skip; }")
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        (stmt,) = _parse_main(f"x = {text};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op is BinaryOp.ADD
+        assert expr.right.op is BinaryOp.MUL
+
+    def test_precedence_shift_below_add(self):
+        expr = self._expr("a + 1 << 2")
+        assert expr.op is BinaryOp.SHL
+
+    def test_precedence_compare_below_bitor(self):
+        expr = self._expr("a | b == 3")
+        assert expr.op is BinaryOp.EQ
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op is BinaryOp.MUL
+
+    def test_logical_operators(self):
+        expr = self._expr("a < 3 && b > 4 || c == 5")
+        assert expr.op is BinaryOp.OR
+
+    def test_unary_operators(self):
+        assert self._expr("-a").op is UnaryOp.NEG
+        assert self._expr("~a").op is UnaryOp.BITNOT
+        assert self._expr("!a").op is UnaryOp.NOT
+        assert self._expr("abs(a - b)").op is UnaryOp.ABS
+
+    def test_signed_comparisons(self):
+        assert self._expr("a <s b").op is BinaryOp.SLT
+        assert self._expr("a >=s b").op is BinaryOp.SGE
+
+    def test_hex_and_bool_literals(self):
+        assert self._expr("0xFF").value == 255
+        assert self._expr("true").value == 1
+        assert self._expr("false").value == 0
+
+
+class TestConstants:
+    def test_constant_substitution(self):
+        unit = parse_program(
+            "const LIMIT = 1000; proc main() { x = LIMIT + 1; }"
+        )
+        stmt = unit.procedures["main"].body.statements[0]
+        assert isinstance(stmt.value.left, ConstExpr)
+        assert stmt.value.left.value == 1000
+
+    def test_constant_expression_initializer(self):
+        unit = parse_program("const AREA = 6000 * 6000; proc main() { skip; }")
+        assert unit.constants["AREA"] == 36_000_000
+
+    def test_constant_referencing_constant(self):
+        unit = parse_program(
+            "const A = 4; const B = A * 2; proc main() { skip; }"
+        )
+        assert unit.constants["B"] == 8
+
+    def test_non_constant_initializer_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("const BAD = width + 1; proc main() { skip; }")

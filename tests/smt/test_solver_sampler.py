@@ -1,0 +1,169 @@
+"""Tests for the portfolio solver, the sampler and the overflow heuristics."""
+
+import pytest
+
+from repro.smt import builder as b
+from repro.smt.evalmodel import evaluate, satisfies
+from repro.smt.heuristics import overflow_witness_hint, try_algebraic_solution
+from repro.smt.sampler import ModelSampler, SamplerConfig, split_conjuncts
+from repro.smt.solver import PortfolioSolver, SolverConfig, SolverStatus
+
+
+@pytest.fixture
+def solver():
+    return PortfolioSolver()
+
+
+class TestPortfolioBasic:
+    def test_empty_query_is_sat(self, solver):
+        assert solver.check([]).is_sat
+
+    def test_true_constant(self, solver):
+        assert solver.check([b.TRUE]).is_sat
+
+    def test_false_constant(self, solver):
+        assert solver.check([b.FALSE]).is_unsat
+
+    def test_point_constraint(self, solver):
+        x = b.bv_var("x", 32)
+        result = solver.check([b.eq(x, 1234)])
+        assert result.is_sat
+        assert result.model["x"] == 1234
+
+    def test_contradiction_via_intervals(self, solver):
+        x = b.bv_var("x", 32)
+        result = solver.check([b.ult(x, 10), b.ugt(x, 20)])
+        assert result.is_unsat
+
+    def test_model_always_satisfies(self, solver):
+        x = b.bv_var("x", 32)
+        y = b.bv_var("y", 32)
+        constraints = [b.ugt(b.mul(x, y), 1000), b.ult(x, 100), b.ult(y, 100)]
+        result = solver.check(constraints)
+        assert result.is_sat
+        for constraint in constraints:
+            assert satisfies(constraint, result.model)
+
+    def test_sat_result_carries_metadata(self, solver):
+        x = b.bv_var("x", 32)
+        result = solver.check([b.ugt(x, 5)])
+        assert result.is_sat
+        assert result.stages_tried
+        assert result.elapsed_seconds >= 0
+
+    def test_solve_for_model_none_on_unsat(self, solver):
+        x = b.bv_var("x", 32)
+        assert solver.solve_for_model([b.ult(x, 3), b.ugt(x, 5)]) is None
+
+
+class TestPortfolioOverflowQueries:
+    def test_dillo_style_overflow_sat(self, solver):
+        w = b.bv_var("w", 32)
+        h = b.bv_var("h", 32)
+        wide = b.mul(b.zext(w, 64), b.zext(h, 64))
+        result = solver.check(
+            [b.ugt(wide, b.bv_const(0xFFFFFFFF, 64)), b.ult(w, 10**6), b.ult(h, 10**6)]
+        )
+        assert result.is_sat
+        assert evaluate(wide, result.model) > 0xFFFFFFFF
+
+    def test_dillo_style_overflow_unsat_with_blocking_bound(self, solver):
+        w = b.bv_var("w", 32)
+        h = b.bv_var("h", 32)
+        wide = b.mul(b.zext(w, 64), b.zext(h, 64))
+        result = solver.check(
+            [b.ugt(wide, b.bv_const(0xFFFFFFFF, 64)), b.ult(w, 1154), b.ult(h, 10**6)]
+        )
+        assert result.is_unsat
+
+    def test_addition_overflow_two_solutions(self, solver):
+        """The CVE-2008-2430 shape: x + 2 wraps for exactly two values."""
+        x = b.bv_var("x", 32)
+        wide = b.add(b.zext(x, 64), b.bv_const(2, 64))
+        result = solver.check([b.ugt(wide, b.bv_const(0xFFFFFFFF, 64))])
+        assert result.is_sat
+        assert result.model["x"] in (0xFFFFFFFE, 0xFFFFFFFF)
+
+    def test_small_bitblast_fallback(self, solver):
+        x = b.bv_var("x", 8)
+        y = b.bv_var("y", 8)
+        constraint = b.eq(b.bvxor(b.mul(x, y), b.bv_const(0x5A, 8)), 0)
+        result = solver.check([constraint, b.ugt(x, 3), b.ugt(y, 3)])
+        assert result.is_sat
+        assert satisfies(constraint, result.model)
+
+
+class TestSampler:
+    def test_split_conjuncts(self):
+        p, q, r = b.bool_var("p"), b.bool_var("q"), b.bool_var("r")
+        assert len(split_conjuncts(b.band(p, b.band(q, r)))) == 3
+
+    def test_samples_satisfy_constraint(self):
+        x = b.bv_var("x", 32)
+        y = b.bv_var("y", 32)
+        constraint = b.band(b.ult(x, 1000), b.ugt(b.mul(x, y), 500_000))
+        sampler = ModelSampler(constraint, [x, y], SamplerConfig(seed=3))
+        models = sampler.sample(20)
+        assert len(models) == 20
+        for model in models:
+            assert satisfies(constraint, model)
+
+    def test_samples_are_diverse(self):
+        x = b.bv_var("x", 32)
+        constraint = b.ugt(x, 10)
+        sampler = ModelSampler(constraint, [x], SamplerConfig(seed=5))
+        values = {model["x"] for model in sampler.sample(30)}
+        assert len(values) > 5
+
+    def test_unsatisfiable_returns_nothing(self):
+        x = b.bv_var("x", 32)
+        constraint = b.band(b.ult(x, 5), b.ugt(x, 10))
+        sampler = ModelSampler(constraint, [x], SamplerConfig(seed=1))
+        assert sampler.sample(5) == []
+
+    def test_trivially_true_constraint(self):
+        x = b.bv_var("x", 32)
+        sampler = ModelSampler(b.TRUE, [x], SamplerConfig(seed=1))
+        assert len(sampler.sample(3)) == 3
+
+    def test_deterministic_with_seed(self):
+        x = b.bv_var("x", 32)
+        constraint = b.ugt(x, 100)
+        first = ModelSampler(constraint, [x], SamplerConfig(seed=11)).sample(5)
+        second = ModelSampler(constraint, [x], SamplerConfig(seed=11)).sample(5)
+        assert [m.as_dict() for m in first] == [m.as_dict() for m in second]
+
+    def test_solver_sample_models_interface(self):
+        solver = PortfolioSolver()
+        w = b.bv_var("w", 32)
+        h = b.bv_var("h", 32)
+        constraint = b.ugt(b.mul(b.zext(w, 64), b.zext(h, 64)), b.bv_const(0xFFFFFFFF, 64))
+        models = solver.sample_models([constraint], 10, seed=2)
+        assert len(models) == 10
+        for model in models:
+            assert satisfies(constraint, model)
+
+
+class TestHeuristics:
+    def test_algebraic_solution_for_bounded_overflow(self):
+        w = b.bv_var("w", 32)
+        h = b.bv_var("h", 32)
+        constraint = b.band(
+            b.ugt(b.mul(b.zext(w, 64), b.zext(h, 64)), b.bv_const(0xFFFFFFFF, 64)),
+            b.band(b.ult(w, 10**6), b.ult(h, 10**6)),
+        )
+        model = try_algebraic_solution(constraint)
+        assert model is not None
+        assert satisfies(constraint, model)
+
+    def test_algebraic_solution_none_for_unsat(self):
+        x = b.bv_var("x", 32)
+        constraint = b.band(b.ult(x, 5), b.ugt(x, 10))
+        assert try_algebraic_solution(constraint) is None
+
+    def test_overflow_witness_hint_targets_large_values(self):
+        w = b.bv_var("w", 32)
+        h = b.bv_var("h", 32)
+        hint = overflow_witness_hint(b.mul(w, h), 32)
+        assert hint["w"] >= 1 << 16
+        assert hint["h"] >= 1 << 16
