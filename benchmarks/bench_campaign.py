@@ -1,0 +1,154 @@
+"""Campaign engine benchmark: serial-uncached vs parallel+cached wall clock.
+
+Reproduces the headline claim of the campaign PR: fanning the whole registry
+out over the campaign scheduler with the shared solver cache (plus the
+persistent simplification memo) beats the serial, uncached baseline by at
+least 1.5x while answering a nonzero fraction of solver queries from cache.
+
+Runs under pytest-benchmark like the sibling harnesses, and standalone for
+CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CampaignEngine, CampaignResult
+
+#: The minimum speedup the campaign architecture must deliver over the
+#: serial-uncached baseline on the registry workload.
+MIN_SPEEDUP = 1.5
+
+#: Looser floor used by the pytest twin, which runs inside the full suite
+#: where background load can squeeze the measurement; the standalone entry
+#: point (`python benchmarks/bench_campaign.py`, the CI smoke step) enforces
+#: the real MIN_SPEEDUP.
+SUITE_MIN_SPEEDUP = 1.2
+
+
+@dataclass
+class Comparison:
+    """Both arms of the serial-vs-campaign measurement."""
+
+    serial_seconds: float
+    campaign_seconds: float
+    serial_result: CampaignResult
+    campaign_result: CampaignResult
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.campaign_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        stats = self.campaign_result.cache_stats
+        return stats.hit_rate() if stats is not None else 0.0
+
+
+def _run(jobs: int, use_cache: bool) -> CampaignResult:
+    return CampaignEngine(CampaignConfig(jobs=jobs, use_cache=use_cache)).run()
+
+
+def run_comparison(jobs: Optional[int] = None, rounds: int = 2) -> Comparison:
+    """Measure both arms, keeping the best of ``rounds`` runs per arm."""
+    resolved_jobs = CampaignConfig(jobs=jobs).resolved_jobs()
+    serial_seconds = campaign_seconds = float("inf")
+    serial_result = campaign_result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = _run(jobs=1, use_cache=False)
+        elapsed = time.perf_counter() - started
+        if elapsed < serial_seconds:
+            serial_seconds, serial_result = elapsed, result
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = _run(jobs=resolved_jobs, use_cache=True)
+        elapsed = time.perf_counter() - started
+        if elapsed < campaign_seconds:
+            campaign_seconds, campaign_result = elapsed, result
+    return Comparison(
+        serial_seconds=serial_seconds,
+        campaign_seconds=campaign_seconds,
+        serial_result=serial_result,
+        campaign_result=campaign_result,
+    )
+
+
+def print_comparison(comparison: Comparison) -> None:
+    stats = comparison.campaign_result.cache_stats
+    print("\n=== Campaign engine: serial-uncached vs parallel+cached ===")
+    print(f"serial, no cache     : {comparison.serial_seconds:.3f}s")
+    print(
+        f"campaign ({comparison.campaign_result.jobs} worker(s), cached)"
+        f" : {comparison.campaign_seconds:.3f}s"
+    )
+    print(f"speedup              : {comparison.speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+    print(
+        f"solver cache         : {stats.hits} hits / {stats.lookups} lookups "
+        f"({comparison.hit_rate:.1%}), {stats.stores} entries stored"
+    )
+    print(
+        "classifications equal: "
+        f"{comparison.serial_result.classifications() == comparison.campaign_result.classifications()}"
+    )
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_serial_uncached(benchmark):
+    """Baseline: the registry analyzed serially with no shared cache."""
+    result = benchmark.pedantic(
+        lambda: _run(jobs=1, use_cache=False), rounds=1, iterations=1
+    )
+    assert result.unit_count == 40
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_parallel_cached(benchmark):
+    """The campaign engine with worker threads and the shared solver cache."""
+    result = benchmark.pedantic(
+        lambda: _run(jobs=4, use_cache=True), rounds=1, iterations=1
+    )
+    assert result.unit_count == 40
+    assert result.cache_stats is not None and result.cache_stats.hits > 0
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_speedup_and_hit_rate(benchmark):
+    """The cached campaign beats serial-uncached and reuses solver verdicts."""
+    comparison = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_comparison(comparison)
+    assert (
+        comparison.serial_result.classifications()
+        == comparison.campaign_result.classifications()
+    )
+    assert comparison.hit_rate > 0.0
+    assert comparison.speedup >= SUITE_MIN_SPEEDUP
+
+
+def main() -> int:
+    comparison = run_comparison()
+    print_comparison(comparison)
+    if comparison.campaign_result.classifications() != (
+        comparison.serial_result.classifications()
+    ):
+        print("FAIL: campaign classifications diverge from the serial path")
+        return 1
+    if comparison.hit_rate <= 0.0:
+        print("FAIL: solver cache hit rate is zero")
+        return 1
+    if comparison.speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {comparison.speedup:.2f}x below {MIN_SPEEDUP}x floor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,12 @@ kind of sanity and blocking checks along the path to each exposed site.
 """
 
 from repro.apps.appbase import Application, SiteExpectation
-from repro.apps.registry import all_applications, get_application, application_names
+from repro.apps.registry import (
+    all_applications,
+    application_names,
+    build_applications,
+    get_application,
+)
 from repro.apps.dillo import build_dillo_application
 from repro.apps.vlc import build_vlc_application
 from repro.apps.swfplay import build_swfplay_application
@@ -22,6 +27,7 @@ __all__ = [
     "Application",
     "SiteExpectation",
     "all_applications",
+    "build_applications",
     "get_application",
     "application_names",
     "build_dillo_application",

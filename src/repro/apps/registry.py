@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.apps.appbase import Application
 from repro.apps.cwebp import build_cwebp_application
@@ -38,3 +38,14 @@ def get_application(name: str) -> Application:
 def all_applications() -> List[Application]:
     """Build all five benchmark application models."""
     return [builder() for builder in _BUILDERS.values()]
+
+
+def build_applications(names: Optional[Iterable[str]] = None) -> List[Application]:
+    """Build the named application models (the whole registry by default).
+
+    Order follows the registry (for ``None``) or the caller's ``names``;
+    the campaign engine relies on this order being deterministic.
+    """
+    if names is None:
+        return all_applications()
+    return [get_application(name) for name in names]

@@ -1,13 +1,15 @@
 """Command-line interface for the DIODE reproduction.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro.cli analyze dillo            # full pipeline, Table-1 style row
-    python -m repro.cli table1                   # all five applications
+    python -m repro.cli table1                   # all five applications, serially
     python -m repro.cli site dillo png.c@203     # one site, with enforcement steps
+    python -m repro.cli campaign --jobs 4        # whole registry, campaign engine
 
-The CLI is a thin layer over :class:`repro.core.engine.Diode`; it exists so
-the reproduction can be driven without writing Python.
+The CLI is a thin layer over :class:`repro.core.engine.Diode` and
+:class:`repro.core.campaign.CampaignEngine`; it exists so the reproduction
+can be driven without writing Python.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import sys
 from typing import List, Optional
 
 from repro.apps import all_applications, application_names, get_application
-from repro.core import Diode
+from repro.core import CampaignConfig, CampaignEngine, Diode
 from repro.core.report import ApplicationResult
 
 
@@ -72,22 +74,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    engine = Diode()
-    totals = [0, 0, 0, 0]
-    rows = []
-    for application in all_applications():
-        result = engine.analyze(application)
-        row = result.table1_row()
-        rows.append((application.name, row))
-        totals[0] += row["total_target_sites"]
-        totals[1] += row["diode_exposes_overflow"]
-        totals[2] += row["target_constraint_unsatisfiable"]
-        totals[3] += row["sanity_checks_prevent_overflow"]
-    if args.json:
-        print(json.dumps({name: row for name, row in rows}, indent=2))
-        return 0
-    print(f"{'Application':20s} {'Sites':>6s} {'Exposed':>8s} {'Unsat':>6s} {'Prevented':>10s}")
+def _print_table1(rows) -> None:
+    """Print Table-1 rows plus a totals line (shared by table1/campaign)."""
+    print(
+        f"{'Application':20s} {'Sites':>6s} {'Exposed':>8s} "
+        f"{'Unsat':>6s} {'Prevented':>10s}"
+    )
+    totals = {
+        "total_target_sites": 0,
+        "diode_exposes_overflow": 0,
+        "target_constraint_unsatisfiable": 0,
+        "sanity_checks_prevent_overflow": 0,
+    }
     for name, row in rows:
         print(
             f"{name:20s} {row['total_target_sites']:>6d} "
@@ -95,7 +93,26 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             f"{row['target_constraint_unsatisfiable']:>6d} "
             f"{row['sanity_checks_prevent_overflow']:>10d}"
         )
-    print(f"{'Total':20s} {totals[0]:>6d} {totals[1]:>8d} {totals[2]:>6d} {totals[3]:>10d}")
+        for key in totals:
+            totals[key] += row[key]
+    print(
+        f"{'Total':20s} {totals['total_target_sites']:>6d} "
+        f"{totals['diode_exposes_overflow']:>8d} "
+        f"{totals['target_constraint_unsatisfiable']:>6d} "
+        f"{totals['sanity_checks_prevent_overflow']:>10d}"
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    engine = Diode()
+    rows = []
+    for application in all_applications():
+        result = engine.analyze(application)
+        rows.append((application.name, result.table1_row()))
+    if args.json:
+        print(json.dumps({name: row for name, row in rows}, indent=2))
+        return 0
+    _print_table1(rows)
     return 0
 
 
@@ -131,6 +148,73 @@ def _cmd_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        applications=args.apps or None,
+    )
+    result = CampaignEngine(config).run()
+
+    if args.json:
+        payload = {
+            "jobs": result.jobs,
+            "cache_enabled": result.cache_enabled,
+            "unit_count": result.unit_count,
+            "wall_seconds": round(result.wall_seconds, 3),
+            "cache_stats": (
+                result.cache_stats.as_dict() if result.cache_stats else None
+            ),
+            "table1": {
+                app.application: app.table1_row()
+                for app in result.application_results
+            },
+            "table1_totals": result.table1_totals(),
+            "table2": [
+                {
+                    "application": report.application,
+                    "target": report.target,
+                    "cve": report.cve,
+                    "error_type": report.error_type,
+                    "enforced": report.enforced_ratio(),
+                }
+                for report in result.bug_reports()
+            ],
+            "classifications": result.classifications(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    _print_table1(
+        [(app.application, app.table1_row()) for app in result.application_results]
+    )
+
+    reports = result.bug_reports()
+    if reports:
+        print(f"\n{'Application':20s} {'Target':28s} {'CVE':16s} {'Error':20s} {'Enforced':>8s}")
+        for report in reports:
+            print(
+                f"{report.application:20s} {report.target:28s} "
+                f"{report.cve:16s} {report.error_type:20s} "
+                f"{report.enforced_ratio():>8s}"
+            )
+
+    line = (
+        f"\n{result.unit_count} sites analyzed in {result.wall_seconds:.2f}s "
+        f"with {result.jobs} worker(s)"
+    )
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        line += (
+            f"; solver cache: {stats.hits} hits / {stats.lookups} lookups "
+            f"({stats.hit_rate():.0%})"
+        )
+    else:
+        line += "; solver cache: disabled"
+    print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -151,6 +235,32 @@ def build_parser() -> argparse.ArgumentParser:
     site.add_argument("application", choices=application_names())
     site.add_argument("site", help="site tag, e.g. png.c@203")
     site.set_defaults(func=_cmd_site)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run the whole registry through the parallel campaign engine",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads (default: one per CPU; 1 = serial fallback)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared solver-result cache and simplify memo",
+    )
+    campaign.add_argument(
+        "--apps",
+        nargs="+",
+        choices=application_names(),
+        metavar="APP",
+        help="restrict the campaign to these applications",
+    )
+    campaign.add_argument("--json", action="store_true", help="emit JSON")
+    campaign.set_defaults(func=_cmd_campaign)
 
     return parser
 

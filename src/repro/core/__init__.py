@@ -12,7 +12,11 @@ The modules in this package implement the Figure-1 pipeline:
 * :mod:`repro.core.detection` — error detection with seed-run filtering.
 * :mod:`repro.core.enforcement` — the goal-directed conditional branch
   enforcement algorithm (Figure 7).
-* :mod:`repro.core.engine` — the :class:`~repro.core.engine.Diode` front end.
+* :mod:`repro.core.engine` — the :class:`~repro.core.engine.Diode` front end
+  and the pure per-site unit :func:`~repro.core.engine.analyze_site`.
+* :mod:`repro.core.campaign` — the parallel analysis campaign engine: a
+  work-queue scheduler over every ⟨application, site⟩ unit, backed by a
+  shared solver-result cache.
 * :mod:`repro.core.baselines` — the comparison strategies evaluated in
   Sections 5.4–5.6 (target-constraint-only sampling, full-path enforcement,
   random and taint-directed fuzzing).
@@ -33,7 +37,13 @@ from repro.core.report import (
     ApplicationResult,
     OverflowBugReport,
 )
-from repro.core.engine import Diode, DiodeConfig
+from repro.core.engine import Diode, DiodeConfig, analyze_site
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignResult,
+    run_campaign,
+)
 from repro.core.baselines import (
     BaselineResult,
     TargetOnlySampling,
@@ -68,6 +78,11 @@ __all__ = [
     "OverflowBugReport",
     "Diode",
     "DiodeConfig",
+    "analyze_site",
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignResult",
+    "run_campaign",
     "BaselineResult",
     "TargetOnlySampling",
     "EnforcedSampling",

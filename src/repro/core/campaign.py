@@ -1,0 +1,252 @@
+"""The parallel analysis campaign engine.
+
+``Diode.analyze`` walks one application's target sites strictly serially.
+A *campaign* instead treats every ⟨application, target site⟩ pair in the
+registry as one independent unit of work, fans the units out over a
+work-queue scheduler (``concurrent.futures.ThreadPoolExecutor``), and backs
+every unit's solver with one shared
+:class:`~repro.smt.cache.SolverCache` plus the persistent simplification
+memo, so enforcement iterations and sibling sites stop re-deriving work.
+
+Structure of a run:
+
+1. build the application models (registry order) and, per application, the
+   shared immutable collaborators — one :class:`ErrorDetector` seed run and
+   one :class:`FieldMapper` instead of one per site;
+2. identify target sites per application (the taint stage, timed as the
+   paper's analysis phase);
+3. schedule one :func:`repro.core.engine.analyze_site` call per site —
+   serially when ``jobs <= 1`` (the deterministic fallback mode), otherwise
+   across ``jobs`` worker threads;
+4. reassemble per-application :class:`ApplicationResult` records in registry
+   order and aggregate the Table-1 / Table-2 report.
+
+Determinism: units are pure (see :func:`~repro.core.engine.analyze_site`)
+and results are slotted by (application, site) index, so the report is
+identical for any worker count.  The shared cache preserves this because a
+cached verdict is always derived from the query's canonical representative
+— a pure function of the query, not of scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.appbase import Application
+from repro.apps.registry import build_applications
+from repro.core.detection import ErrorDetector
+from repro.core.engine import DiodeConfig, analyze_site
+from repro.core.fieldmap import FieldMapper
+from repro.core.report import ApplicationResult, OverflowBugReport, SiteResult
+from repro.core.sites import TargetSite, identify_target_sites
+from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration for one campaign run."""
+
+    diode: DiodeConfig = field(default_factory=DiodeConfig)
+    #: Worker threads; ``None`` means one per CPU, ``1`` forces the
+    #: deterministic serial fallback path (no executor at all).
+    jobs: Optional[int] = None
+    #: Share a solver-result cache and the simplification memo across units.
+    use_cache: bool = True
+    #: Application short names to analyze; ``None`` means the whole registry.
+    applications: Optional[Sequence[str]] = None
+
+    def resolved_jobs(self) -> int:
+        if self.jobs is None:
+            return max(1, os.cpu_count() or 1)
+        return max(1, self.jobs)
+
+
+@dataclass
+class _ApplicationContext:
+    """Shared immutable per-application collaborators."""
+
+    index: int
+    application: Application
+    detector: ErrorDetector
+    mapper: FieldMapper
+    sites: List[TargetSite]
+    analysis_seconds: float
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One schedulable ⟨application, target site⟩ analysis."""
+
+    app_index: int
+    site_index: int
+    application_name: str
+    site_name: str
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a campaign over many applications."""
+
+    application_results: List[ApplicationResult]
+    wall_seconds: float
+    jobs: int
+    cache_enabled: bool
+    unit_count: int
+    cache_stats: Optional[SolverCacheStats] = None
+
+    # ------------------------------------------------------------------
+    def table1_rows(self) -> List[Dict[str, int]]:
+        """Per-application Table-1 rows, in campaign order."""
+        return [result.table1_row() for result in self.application_results]
+
+    def table1_totals(self) -> Dict[str, int]:
+        """The Table-1 totals row across every application."""
+        totals = {
+            "total_target_sites": 0,
+            "diode_exposes_overflow": 0,
+            "target_constraint_unsatisfiable": 0,
+            "sanity_checks_prevent_overflow": 0,
+        }
+        for result in self.application_results:
+            for key, value in result.table1_row().items():
+                totals[key] += value
+        return totals
+
+    def bug_reports(self) -> List[OverflowBugReport]:
+        """Every Table-2 row discovered by the campaign."""
+        reports: List[OverflowBugReport] = []
+        for result in self.application_results:
+            reports.extend(result.bug_reports())
+        return reports
+
+    def classifications(self) -> Dict[str, Dict[str, str]]:
+        """application name -> site name -> classification value.
+
+        The comparison format the tests use to assert that campaign output
+        matches the serial ``Diode.analyze`` path exactly.
+        """
+        return {
+            result.application: {
+                site.site.name: site.classification.value
+                for site in result.site_results
+            }
+            for result in self.application_results
+        }
+
+
+class CampaignEngine:
+    """Fan a DIODE analysis out over applications and sites concurrently."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+        self.config = config or CampaignConfig()
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Run the campaign and return the aggregate report."""
+        started = time.perf_counter()
+        jobs = self.config.resolved_jobs()
+        cache = SolverCache() if self.config.use_cache else None
+
+        with simplify_memo(enabled=self.config.use_cache):
+            contexts = self._build_contexts()
+            units = [
+                CampaignUnit(
+                    app_index=context.index,
+                    site_index=site_index,
+                    application_name=context.application.name,
+                    site_name=site.name,
+                )
+                for context in contexts
+                for site_index, site in enumerate(context.sites)
+            ]
+            site_results = self._run_units(contexts, units, cache, jobs)
+
+        application_results = []
+        for context in contexts:
+            result = ApplicationResult(
+                application=context.application.name,
+                seed_input=context.application.seed_input,
+                analysis_seconds=context.analysis_seconds,
+            )
+            result.site_results.extend(
+                site_results[(context.index, site_index)]
+                for site_index in range(len(context.sites))
+            )
+            application_results.append(result)
+
+        return CampaignResult(
+            application_results=application_results,
+            wall_seconds=time.perf_counter() - started,
+            jobs=jobs,
+            cache_enabled=self.config.use_cache,
+            unit_count=len(units),
+            cache_stats=cache.stats if cache is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_contexts(self) -> List[_ApplicationContext]:
+        contexts = []
+        for index, application in enumerate(
+            build_applications(self.config.applications)
+        ):
+            identify_started = time.perf_counter()
+            sites = identify_target_sites(
+                application.program, application.seed_input
+            )
+            analysis_seconds = time.perf_counter() - identify_started
+            contexts.append(
+                _ApplicationContext(
+                    index=index,
+                    application=application,
+                    detector=ErrorDetector(
+                        application.program, application.seed_input
+                    ),
+                    mapper=FieldMapper(application.format_spec),
+                    sites=sites,
+                    analysis_seconds=analysis_seconds,
+                )
+            )
+        return contexts
+
+    def _run_units(
+        self,
+        contexts: List[_ApplicationContext],
+        units: List[CampaignUnit],
+        cache: Optional[SolverCache],
+        jobs: int,
+    ) -> Dict[tuple, SiteResult]:
+        def run_unit(unit: CampaignUnit) -> SiteResult:
+            context = contexts[unit.app_index]
+            return analyze_site(
+                context.application,
+                context.sites[unit.site_index],
+                self.config.diode,
+                solver_cache=cache,
+                detector=context.detector,
+                field_mapper=context.mapper,
+            )
+
+        results: Dict[tuple, SiteResult] = {}
+        if jobs <= 1:
+            # Deterministic serial fallback: no executor, registry order.
+            for unit in units:
+                results[(unit.app_index, unit.site_index)] = run_unit(unit)
+            return results
+
+        with ThreadPoolExecutor(max_workers=jobs) as executor:
+            futures = {
+                (unit.app_index, unit.site_index): executor.submit(run_unit, unit)
+                for unit in units
+            }
+            for slot, future in futures.items():
+                results[slot] = future.result()
+        return results
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Convenience wrapper: run one campaign with ``config``."""
+    return CampaignEngine(config).run()

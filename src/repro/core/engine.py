@@ -39,6 +39,7 @@ from repro.core.report import (
 )
 from repro.core.sites import TargetSite, identify_target_sites
 from repro.core.target import TargetObservation, extract_target_observations
+from repro.smt.cache import SolverCache
 from repro.smt.solver import PortfolioSolver, SolverConfig
 
 
@@ -51,11 +52,112 @@ class DiodeConfig:
     max_observations_per_site: int = 2
 
 
+def analyze_site(
+    application: Application,
+    site: TargetSite,
+    config: Optional[DiodeConfig] = None,
+    *,
+    solver_cache: Optional[SolverCache] = None,
+    detector: Optional[ErrorDetector] = None,
+    field_mapper: Optional[FieldMapper] = None,
+) -> SiteResult:
+    """Run extraction + enforcement for one target site.
+
+    This is a pure, independently schedulable unit of work: it reads only
+    its arguments, shares no mutable state with other sites (the optional
+    ``solver_cache`` is thread-safe and idempotent, and a shared
+    ``detector`` is immutable after construction), and is deterministic for
+    a given application/site/config.  The campaign engine fans these calls
+    out across worker threads; :class:`Diode` runs them serially.
+    """
+    config = config or DiodeConfig()
+    started = time.perf_counter()
+    program = application.program
+    seed = application.seed_input
+    mapper = field_mapper or FieldMapper(application.format_spec)
+
+    observations = extract_target_observations(
+        program,
+        seed,
+        site,
+        field_mapper=mapper,
+        max_observations=config.max_observations_per_site,
+    )
+
+    solver = PortfolioSolver(config.solver, cache=solver_cache)
+    generator = InputGenerator(seed, application.format_spec)
+    if detector is None:
+        detector = ErrorDetector(program, seed)
+    enforcer = GoalDirectedEnforcer(solver, generator, detector, config.enforcement)
+
+    best: Optional[EnforcementResult] = None
+    for observation in observations:
+        enforcement = enforcer.run(observation)
+        if best is None or _better_outcome(enforcement, best):
+            best = enforcement
+        if enforcement.found_overflow:
+            break
+
+    discovery_seconds = time.perf_counter() - started
+    if best is None:
+        return SiteResult(
+            site=site,
+            classification=SiteClassification.TARGET_UNSATISFIABLE,
+            discovery_seconds=discovery_seconds,
+        )
+
+    classification = classification_from_enforcement(best)
+    bug_report = None
+    if classification is SiteClassification.OVERFLOW_EXPOSED:
+        bug_report = _bug_report(application, site, best, discovery_seconds)
+    return SiteResult(
+        site=site,
+        classification=classification,
+        enforcement=best,
+        bug_report=bug_report,
+        discovery_seconds=discovery_seconds,
+    )
+
+
+def _bug_report(
+    application: Application,
+    site: TargetSite,
+    enforcement: EnforcementResult,
+    discovery_seconds: float,
+) -> OverflowBugReport:
+    evaluation = enforcement.evaluation
+    error_type = evaluation.error_type() if evaluation is not None else "None"
+    field_values = {}
+    if enforcement.triggering_model:
+        field_values = {
+            name: value
+            for name, value in enforcement.triggering_model.items()
+            if not name.startswith("inp[")
+        }
+    return OverflowBugReport(
+        application=application.name,
+        target=site.name,
+        cve=application.known_cves.get(site.name, "New"),
+        error_type=error_type,
+        enforced_branches=enforcement.enforced_count,
+        relevant_branches=enforcement.relevant_branch_count,
+        analysis_seconds=0.0,
+        discovery_seconds=discovery_seconds,
+        triggering_field_values=field_values,
+        triggering_input=enforcement.triggering_input,
+    )
+
+
 class Diode:
     """The directed integer overflow discovery engine."""
 
-    def __init__(self, config: Optional[DiodeConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[DiodeConfig] = None,
+        solver_cache: Optional[SolverCache] = None,
+    ) -> None:
         self.config = config or DiodeConfig()
+        self.solver_cache = solver_cache
 
     # ------------------------------------------------------------------
     # Whole-application analysis
@@ -83,82 +185,8 @@ class Diode:
     # ------------------------------------------------------------------
     def analyze_site(self, application: Application, site: TargetSite) -> SiteResult:
         """Run extraction + enforcement for one target site."""
-        started = time.perf_counter()
-        program = application.program
-        seed = application.seed_input
-        mapper = FieldMapper(application.format_spec)
-
-        observations = extract_target_observations(
-            program,
-            seed,
-            site,
-            field_mapper=mapper,
-            max_observations=self.config.max_observations_per_site,
-        )
-
-        solver = PortfolioSolver(self.config.solver)
-        generator = InputGenerator(seed, application.format_spec)
-        detector = ErrorDetector(program, seed)
-        enforcer = GoalDirectedEnforcer(
-            solver, generator, detector, self.config.enforcement
-        )
-
-        best: Optional[EnforcementResult] = None
-        for observation in observations:
-            enforcement = enforcer.run(observation)
-            if best is None or _better_outcome(enforcement, best):
-                best = enforcement
-            if enforcement.found_overflow:
-                break
-
-        discovery_seconds = time.perf_counter() - started
-        if best is None:
-            return SiteResult(
-                site=site,
-                classification=SiteClassification.TARGET_UNSATISFIABLE,
-                discovery_seconds=discovery_seconds,
-            )
-
-        classification = classification_from_enforcement(best)
-        bug_report = None
-        if classification is SiteClassification.OVERFLOW_EXPOSED:
-            bug_report = self._bug_report(application, site, best, discovery_seconds)
-        return SiteResult(
-            site=site,
-            classification=classification,
-            enforcement=best,
-            bug_report=bug_report,
-            discovery_seconds=discovery_seconds,
-        )
-
-    # ------------------------------------------------------------------
-    def _bug_report(
-        self,
-        application: Application,
-        site: TargetSite,
-        enforcement: EnforcementResult,
-        discovery_seconds: float,
-    ) -> OverflowBugReport:
-        evaluation = enforcement.evaluation
-        error_type = evaluation.error_type() if evaluation is not None else "None"
-        field_values = {}
-        if enforcement.triggering_model:
-            field_values = {
-                name: value
-                for name, value in enforcement.triggering_model.items()
-                if not name.startswith("inp[")
-            }
-        return OverflowBugReport(
-            application=application.name,
-            target=site.name,
-            cve=application.known_cves.get(site.name, "New"),
-            error_type=error_type,
-            enforced_branches=enforcement.enforced_count,
-            relevant_branches=enforcement.relevant_branch_count,
-            analysis_seconds=0.0,
-            discovery_seconds=discovery_seconds,
-            triggering_field_values=field_values,
-            triggering_input=enforcement.triggering_input,
+        return analyze_site(
+            application, site, self.config, solver_cache=self.solver_cache
         )
 
 

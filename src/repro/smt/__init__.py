@@ -59,6 +59,7 @@ from repro.smt.builder import (
     bnot,
     implies,
 )
+from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
 from repro.smt.evalmodel import Model, evaluate
 from repro.smt.simplify import simplify
 from repro.smt.interval import Interval, interval_of, propagate_intervals
@@ -116,4 +117,7 @@ __all__ = [
     "SolverResult",
     "SolverStatus",
     "ModelSampler",
+    "SolverCache",
+    "SolverCacheStats",
+    "simplify_memo",
 ]

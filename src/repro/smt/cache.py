@@ -1,0 +1,359 @@
+"""Shared solver-result cache keyed on canonicalized constraint systems.
+
+The campaign engine runs many near-identical solver queries: enforcement
+iterations re-check growing prefixes of the same system, and sibling target
+sites constrain structurally identical expressions over differently named
+field variables.  This module lets all of them share one answer store.
+
+Canonicalization has two steps:
+
+1. every conjunct is simplified (the portfolio front end already does this),
+   so syntactic noise collapses into the hash-consed term DAG;
+2. variables are renamed to ``v000, v001, ...`` in first-occurrence order
+   across the ordered conjunct list, so alpha-equivalent systems rebuild the
+   *same* interned canonical terms.
+
+Because terms are hash-consed, the canonical conjuncts of two equivalent
+systems are identical objects, and the cache key is simply the tuple of
+their intern ids (plus a solver-configuration fingerprint — results under
+different budgets must not be conflated).
+
+Determinism is by construction: on a miss the solver decides the *canonical
+representative* of the query and the cache stores that canonical result, so
+the answer every caller receives is a pure function of the canonical system
+— independent of scheduling order, worker count, or which alpha-variant
+arrived first.  SAT models are translated back through the renaming and
+verified against the caller's actual conjuncts before being returned.
+
+The module also owns the persistent simplification memo
+(:func:`enable_simplify_memo`): simplification is a pure function of an
+interned term, so memoizing it across the whole campaign removes the single
+largest source of re-derived work in the concolic stage.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt import simplify as _simplify_module
+from repro.smt.evalmodel import Model
+from repro.smt.terms import Term, TermKind
+
+
+@dataclass(frozen=True)
+class CanonicalSystem:
+    """A constraint system rewritten over canonical variable names."""
+
+    #: Hashable cache key: config fingerprint + intern ids of the canonical
+    #: conjuncts (order-preserving — conjunct order can influence which model
+    #: the portfolio returns, so it is part of the identity).
+    key: Tuple
+    #: The canonically renamed conjuncts, in the caller's order.
+    conjuncts: Tuple[Term, ...]
+    #: canonical name -> the caller's variable name.
+    from_canonical: Tuple[Tuple[str, str], ...]
+
+    def translate_model(self, canonical_model: Model) -> Model:
+        """Map a model over canonical names back to the caller's names."""
+        names = dict(self.from_canonical)
+        translated = Model()
+        for name in canonical_model:
+            actual = names.get(name)
+            if actual is not None:
+                translated[actual] = canonical_model[name]
+        return translated
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """One stored solver answer, in canonical variable space."""
+
+    status: str
+    canonical_model: Optional[Model]
+    reason: str
+
+
+@dataclass
+class SolverCacheStats:
+    """Hit/miss counters for one :class:`SolverCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid_hits": self.invalid_hits,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class SolverCache:
+    """Thread-safe store of solver verdicts keyed by canonical systems.
+
+    One instance is shared by every :class:`~repro.smt.solver.PortfolioSolver`
+    a campaign creates; entries are idempotent (two workers racing on the
+    same canonical system store the same verdict), so no cross-worker
+    coordination beyond the internal lock is needed.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: Dict[Tuple, CachedVerdict] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.stats = SolverCacheStats()
+        # Normalization and structural keys are pure functions of interned
+        # terms, and the enforcement loop's queries are supersets of earlier
+        # ones — persisting these memos makes repeat canonicalization
+        # O(new terms) instead of O(whole system).  Races on the dicts are
+        # benign (idempotent values under the GIL).
+        self._norm_memo: Dict[Term, Term] = {}
+        self._key_memo: Dict[Term, Tuple[str, str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def canonicalize(
+        self, conjuncts: Sequence[Term], fingerprint: Tuple
+    ) -> CanonicalSystem:
+        """Build the canonical system (and cache key) for ``conjuncts``.
+
+        Commutative operand order is normalized *before* variables are
+        renamed: the simplifier orders commutative operands by intern id
+        (process creation history), so without this step two alpha-equivalent
+        systems could walk their variables in different orders and end up
+        with different canonical names.  The normalization key is structural
+        and uses the original variable names, so it is stable across
+        processes and across intern-table history.
+        """
+        normalized = tuple(
+            _normalize(c, self._norm_memo, self._key_memo) for c in conjuncts
+        )
+        rename: Dict[str, str] = {}
+        for conjunct in normalized:
+            _collect_names(conjunct, rename)
+        memo: Dict[Term, Term] = {}
+        canonical = tuple(_rename_term(c, rename, memo) for c in normalized)
+        key = (fingerprint, tuple(t._id for t in canonical))
+        return CanonicalSystem(
+            key=key,
+            conjuncts=canonical,
+            from_canonical=tuple(
+                (canonical_name, actual) for actual, canonical_name in rename.items()
+            ),
+        )
+
+    def lookup(self, system: CanonicalSystem) -> Optional[CachedVerdict]:
+        """Return the stored verdict for ``system``, counting hit/miss."""
+        with self._lock:
+            entry = self._entries.get(system.key)
+            if entry is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return entry
+
+    def store(self, system: CanonicalSystem, verdict: CachedVerdict) -> None:
+        """Store the canonical verdict for ``system`` (idempotent)."""
+        with self._lock:
+            if self.max_entries is not None and len(self._entries) >= self.max_entries:
+                if system.key not in self._entries:
+                    return
+            self._entries[system.key] = verdict
+            self.stats.stores += 1
+
+    def note_invalid_hit(self) -> None:
+        """Record a hit whose translated model failed verification."""
+        with self._lock:
+            self.stats.invalid_hits += 1
+
+    def clear(self) -> None:
+        """Drop all entries and memos (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._norm_memo.clear()
+            self._key_memo.clear()
+
+
+# ----------------------------------------------------------------------
+# Canonical renaming over the interned term DAG
+# ----------------------------------------------------------------------
+def _collect_names(term: Term, rename: Dict[str, str]) -> None:
+    """Assign canonical names in deterministic first-occurrence DFS order."""
+    stack: List[Term] = [term]
+    while stack:
+        node = stack.pop()
+        if node.is_var:
+            name = str(node.name)
+            if name not in rename:
+                rename[name] = f"v{len(rename):03d}"
+        else:
+            stack.extend(reversed(node.args))
+
+
+#: Operators whose argument order is semantically irrelevant.
+_COMMUTATIVE = frozenset(
+    {
+        TermKind.ADD,
+        TermKind.MUL,
+        TermKind.AND,
+        TermKind.OR,
+        TermKind.XOR,
+        TermKind.EQ,
+        TermKind.NE,
+        TermKind.BAND,
+        TermKind.BOR,
+        TermKind.BXOR,
+    }
+)
+
+
+def _structural_key(
+    term: Term, key_memo: Dict[Term, Tuple[str, str]]
+) -> Tuple[str, str]:
+    """History-independent sort keys used to order commutative operands.
+
+    Returns ``(erased, named)``: the primary key erases variable names (so
+    structurally distinct operands order the same way regardless of what the
+    variables are called), and the name-dependent key only breaks ties
+    between operands that are structurally identical modulo naming.  Two
+    systems related by an order-*preserving* renaming therefore normalize
+    their operands identically; nothing depends on intern ids or process
+    history.
+    """
+    cached = key_memo.get(term)
+    if cached is not None:
+        return cached
+    if term.is_const:
+        result = (f"#{term.value}:{term.width}", "")
+    elif term.is_var:
+        result = (f"V:{term.width}", str(term.name))
+    else:
+        children = [_structural_key(a, key_memo) for a in term.args]
+        erased = " ".join(c[0] for c in children)
+        named = " ".join(c[1] for c in children)
+        params = ",".join(str(p) for p in term.params)
+        head = f"({term.kind.value}:{params}:{term.width} "
+        result = (head + erased + ")", named)
+    key_memo[term] = result
+    return result
+
+
+def _normalize(
+    term: Term, memo: Dict[Term, Term], key_memo: Dict[Term, Tuple[str, str]]
+) -> Term:
+    """Rebuild ``term`` with commutative operands in structural-key order."""
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if not term.args:
+        result = term
+    else:
+        args = tuple(_normalize(a, memo, key_memo) for a in term.args)
+        if term.kind in _COMMUTATIVE and len(args) == 2:
+            args = tuple(sorted(args, key=lambda t: _structural_key(t, key_memo)))
+        result = Term.make(
+            term.kind,
+            args,
+            width=term.width,
+            value=term.value,
+            name=term.name,
+            params=term.params,
+        )
+    memo[term] = result
+    return result
+
+
+def _rename_term(term: Term, rename: Dict[str, str], memo: Dict[Term, Term]) -> Term:
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if term.is_var:
+        result = Term.make(
+            term.kind, (), width=term.width, name=rename[str(term.name)]
+        )
+    elif not term.args:
+        result = term
+    else:
+        args = tuple(_rename_term(a, rename, memo) for a in term.args)
+        result = Term.make(
+            term.kind,
+            args,
+            width=term.width,
+            value=term.value,
+            name=term.name,
+            params=term.params,
+        )
+    memo[term] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Persistent simplification memo
+# ----------------------------------------------------------------------
+class SimplifyMemo:
+    """Handle for the process-wide simplification memo.
+
+    Enabling installs a persistent table into :mod:`repro.smt.simplify`;
+    disabling restores the default per-call behaviour.  Nested enables share
+    the same table (reference-counted), so a campaign can wrap an analysis
+    that itself toggles the memo.
+    """
+
+    _lock = threading.Lock()
+    _refcount = 0
+    _table: Dict[Term, Term] = {}
+
+    @classmethod
+    def enable(cls) -> None:
+        with cls._lock:
+            cls._refcount += 1
+            if cls._refcount == 1:
+                cls._table = {}
+                _simplify_module.install_memo(cls._table)
+
+    @classmethod
+    def disable(cls) -> None:
+        with cls._lock:
+            if cls._refcount == 0:
+                return
+            cls._refcount -= 1
+            if cls._refcount == 0:
+                _simplify_module.uninstall_memo()
+                cls._table = {}
+
+    @classmethod
+    def size(cls) -> int:
+        return len(cls._table)
+
+
+class simplify_memo:
+    """Context manager: ``with simplify_memo(): ...`` enables the memo."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def __enter__(self) -> "simplify_memo":
+        if self.enabled:
+            SimplifyMemo.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.enabled:
+            SimplifyMemo.disable()

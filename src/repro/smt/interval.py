@@ -499,10 +499,10 @@ def _contract_comparison(
         meet = left_iv.intersect(right_iv)
         if meet.is_empty:
             return None
-        bounds = _push_down(left, meet, bounds)
+        bounds = _push_down(left, meet, bounds, analysis)
         if bounds is None:
             return None
-        return _push_down(right, meet, bounds)
+        return _push_down(right, meet, bounds, analysis)
     if kind is TermKind.NE:
         if left_iv.is_point and right_iv.is_point and left_iv.lo == right_iv.lo:
             return None
@@ -512,19 +512,19 @@ def _contract_comparison(
         new_right = right_iv.intersect(Interval(left_iv.lo + 1, mask(right.width)))
         if new_left.is_empty or new_right.is_empty:
             return None
-        bounds = _push_down(left, new_left, bounds)
+        bounds = _push_down(left, new_left, bounds, analysis)
         if bounds is None:
             return None
-        return _push_down(right, new_right, bounds)
+        return _push_down(right, new_right, bounds, analysis)
     if kind is TermKind.ULE:
         new_left = left_iv.intersect(Interval(0, right_iv.hi))
         new_right = right_iv.intersect(Interval(left_iv.lo, mask(right.width)))
         if new_left.is_empty or new_right.is_empty:
             return None
-        bounds = _push_down(left, new_left, bounds)
+        bounds = _push_down(left, new_left, bounds, analysis)
         if bounds is None:
             return None
-        return _push_down(right, new_right, bounds)
+        return _push_down(right, new_right, bounds, analysis)
     if kind is TermKind.UGT:
         return _contract_comparison(TermKind.ULT, right, left, analysis, bounds)
     if kind is TermKind.UGE:
@@ -532,13 +532,38 @@ def _contract_comparison(
     return bounds
 
 
+def _invert_scaled(
+    target: Interval, factor: int, width: int, base_hi: int
+) -> Interval:
+    """Sound preimage hull of ``x`` for ``(x * factor) mod 2^width in target``.
+
+    Multiplication is modular: for ``x`` up to ``base_hi`` (a sound upper
+    bound on the base operand) the product ``x * factor`` wraps up to
+    ``k_max = factor * base_hi // 2^width`` times, and every wrap count ``k``
+    contributes the preimage interval ``[ceil((target.lo + k*2^width) /
+    factor), (target.hi + k*2^width) // factor]``.  The convex hull of those
+    intervals is ``[ceil(target.lo / factor), (target.hi + k_max*2^width) //
+    factor]``; when no wrap is possible (``k_max == 0``) this is the exact
+    non-modular inversion.
+    """
+    modulus = 1 << width
+    k_max = (factor * base_hi) // modulus
+    lo = (target.lo + factor - 1) // factor
+    hi = (target.hi + k_max * modulus) // factor
+    return Interval(lo, min(hi, mask(width)))
+
+
 def _push_down(
-    term: Term, target: Interval, bounds: Dict[str, Interval]
+    term: Term,
+    target: Interval,
+    bounds: Dict[str, Interval],
+    analysis: Optional[IntervalAnalysis] = None,
 ) -> Optional[Dict[str, Interval]]:
     """Propagate a required output interval backwards into variable bounds.
 
     Only structurally invertible operators are handled; everything else is a
-    no-op (sound: the bounds simply stay wider).
+    no-op (sound: the bounds simply stay wider).  ``analysis`` supplies
+    forward intervals so modular operators can bound their wrap count.
     """
     if bounds is None:
         return None
@@ -555,7 +580,9 @@ def _push_down(
     if kind is TermKind.BV_CONST:
         return bounds if term.value in target else None
     if kind is TermKind.ZEXT:
-        return _push_down(term.args[0], target.widen_to(term.args[0].width), bounds)
+        return _push_down(
+            term.args[0], target.widen_to(term.args[0].width), bounds, analysis
+        )
     if kind is TermKind.EXTRACT:
         high, low = term.params
         if low == 0:
@@ -563,7 +590,7 @@ def _push_down(
             # The low bits being in [lo, hi] does not bound the high bits,
             # unless the extract covers the whole operand.
             if high == inner.width - 1:
-                return _push_down(inner, target, bounds)
+                return _push_down(inner, target, bounds, analysis)
         return bounds
     if kind is TermKind.ADD:
         left, right = term.args
@@ -572,50 +599,57 @@ def _push_down(
             shifted = Interval(target.lo - offset, target.hi - offset)
             if shifted.lo < 0:
                 return bounds
-            return _push_down(left, shifted, bounds)
+            return _push_down(left, shifted, bounds, analysis)
         if left.kind is TermKind.BV_CONST:
             offset = left.value
             shifted = Interval(target.lo - offset, target.hi - offset)
             if shifted.lo < 0:
                 return bounds
-            return _push_down(right, shifted, bounds)
+            return _push_down(right, shifted, bounds, analysis)
         return bounds
     if kind is TermKind.MUL:
         left, right = term.args
         if right.kind is TermKind.BV_CONST and right.value > 0:
-            factor = right.value
-            shrunk = Interval(
-                (target.lo + factor - 1) // factor, target.hi // factor
+            shrunk = _invert_scaled(
+                target, right.value, term.width, _forward_hi(left, analysis)
             )
-            return _push_down(left, shrunk, bounds)
+            return _push_down(left, shrunk, bounds, analysis)
         if left.kind is TermKind.BV_CONST and left.value > 0:
-            factor = left.value
-            shrunk = Interval(
-                (target.lo + factor - 1) // factor, target.hi // factor
+            shrunk = _invert_scaled(
+                target, left.value, term.width, _forward_hi(right, analysis)
             )
-            return _push_down(right, shrunk, bounds)
+            return _push_down(right, shrunk, bounds, analysis)
         return bounds
     if kind is TermKind.SHL:
         base, amount = term.args
         if amount.kind is TermKind.BV_CONST and amount.value < term.width:
-            shift = amount.value
-            shrunk = Interval(
-                (target.lo + (1 << shift) - 1) >> shift, target.hi >> shift
+            shrunk = _invert_scaled(
+                target, 1 << amount.value, term.width, _forward_hi(base, analysis)
             )
-            return _push_down(base, shrunk, bounds)
+            return _push_down(base, shrunk, bounds, analysis)
         return bounds
     if kind is TermKind.LSHR:
         base, amount = term.args
         if amount.kind is TermKind.BV_CONST and amount.value < term.width:
             shift = amount.value
             grown = Interval(target.lo << shift, ((target.hi + 1) << shift) - 1)
-            return _push_down(base, grown.widen_to(base.width), bounds)
+            return _push_down(base, grown.widen_to(base.width), bounds, analysis)
         return bounds
     if kind is TermKind.UDIV:
         base, divisor = term.args
         if divisor.kind is TermKind.BV_CONST and divisor.value > 0:
             d = divisor.value
             grown = Interval(target.lo * d, target.hi * d + d - 1)
-            return _push_down(base, grown.widen_to(base.width), bounds)
+            return _push_down(base, grown.widen_to(base.width), bounds, analysis)
         return bounds
     return bounds
+
+
+def _forward_hi(term: Term, analysis: Optional[IntervalAnalysis]) -> int:
+    """A sound upper bound for ``term`` (full range when no analysis given)."""
+    if analysis is None:
+        return mask(term.width)
+    interval = analysis.interval(term)
+    if interval.is_empty:
+        return mask(term.width)
+    return interval.hi

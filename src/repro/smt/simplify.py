@@ -14,28 +14,49 @@ alone for the interval analysis or the bit-blasting backend.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.smt import builder as b
 from repro.smt.terms import Term, TermKind, mask, to_signed, truncate
 
+#: Optional process-wide memo table installed by :mod:`repro.smt.cache`.
+#: Simplification is a pure function of the (immutable, interned) term, so a
+#: persistent memo is safe.  Keys are terms themselves (identity hash), never
+#: raw ``id()`` values, so a cleared-and-rebuilt intern table can only cause
+#: misses, not wrong answers — note the flip side: while installed, the memo
+#: pins every memoized term in memory.
+_persistent_memo: Optional[Dict[Term, Term]] = None
+
+
+def install_memo(memo: Dict[Term, Term]) -> None:
+    """Install a persistent cross-call memo table (see :mod:`repro.smt.cache`)."""
+    global _persistent_memo
+    _persistent_memo = memo
+
+
+def uninstall_memo() -> None:
+    """Remove the persistent memo; each call reverts to a private table."""
+    global _persistent_memo
+    _persistent_memo = None
+
 
 def simplify(term: Term) -> Term:
     """Return a simplified term equivalent to ``term``."""
-    cache: Dict[int, Term] = {}
+    memo = _persistent_memo
+    cache: Dict[Term, Term] = {} if memo is None else memo
     return _simplify(term, cache)
 
 
-def _simplify(term: Term, cache: Dict[int, Term]) -> Term:
-    cached = cache.get(id(term))
+def _simplify(term: Term, cache: Dict[Term, Term]) -> Term:
+    cached = cache.get(term)
     if cached is not None:
         return cached
     if term.is_const or term.is_var:
-        cache[id(term)] = term
+        cache[term] = term
         return term
     args = tuple(_simplify(a, cache) for a in term.args)
     result = _rewrite(term, args)
-    cache[id(term)] = result
+    cache[term] = result
     return result
 
 

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.smt import builder as b
 from repro.smt.bitblast import BitBlaster, BitBlastError
+from repro.smt.cache import CachedVerdict, SolverCache
 from repro.smt.evalmodel import Model, satisfies
 from repro.smt.heuristics import try_algebraic_solution
 from repro.smt.interval import Interval, propagate_intervals
@@ -81,10 +82,21 @@ class SolverConfig:
 
 
 class PortfolioSolver:
-    """Layered QF_BV solver: simplify → intervals → heuristics → sampling → CDCL."""
+    """Layered QF_BV solver: simplify → intervals → heuristics → sampling → CDCL.
 
-    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+    When a :class:`~repro.smt.cache.SolverCache` is supplied, queries are
+    canonicalized (alpha-renamed over the hash-consed DAG) and the portfolio
+    decides the canonical representative, so alpha-equivalent queries from
+    sibling sites and repeated enforcement iterations share one verdict.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        cache: Optional[SolverCache] = None,
+    ) -> None:
         self.config = config or SolverConfig()
+        self.cache = cache
         self.query_count = 0
         self.stage_hits: Dict[str, int] = {}
 
@@ -107,6 +119,75 @@ class PortfolioSolver:
         conjuncts: List[Term] = []
         for constraint in constraint_list:
             conjuncts.extend(split_conjuncts(constraint))
+
+        if self.cache is not None:
+            return self._check_cached(conjuncts, started, stages)
+        return self._finish(self._run_portfolio(conjuncts, stages), started, stages)
+
+    def _check_cached(
+        self, conjuncts: List[Term], started: float, stages: List[str]
+    ) -> SolverResult:
+        """Answer the query through the shared cache.
+
+        Hit or miss, the verdict is derived from the *canonical
+        representative* of the query, so the answer is a pure function of
+        the canonical system — independent of worker scheduling and of
+        which alpha-variant of the system was solved first.
+        """
+        stages.append("cache")
+        system = self.cache.canonicalize(conjuncts, self._config_fingerprint())
+        cached = self.cache.lookup(system)
+        if cached is not None:
+            if cached.status != SolverStatus.SAT:
+                return self._finish(
+                    SolverResult(cached.status, reason="cache"), started, stages
+                )
+            model = system.translate_model(cached.canonical_model)
+            if all(satisfies(c, model) for c in conjuncts):
+                return self._finish(
+                    SolverResult(SolverStatus.SAT, model=model, reason="cache"),
+                    started,
+                    stages,
+                )
+            # A stored model that does not survive translation means the
+            # canonicalization missed a distinction; fall through and
+            # re-derive (and overwrite) the entry.
+            self.cache.note_invalid_hit()
+
+        canonical_result = self._run_portfolio(list(system.conjuncts), stages)
+        self.cache.store(
+            system,
+            CachedVerdict(
+                status=canonical_result.status,
+                canonical_model=canonical_result.model,
+                reason=canonical_result.reason,
+            ),
+        )
+        result = SolverResult(
+            canonical_result.status, reason=canonical_result.reason
+        )
+        if canonical_result.is_sat:
+            result.model = system.translate_model(canonical_result.model)
+        return self._finish(result, started, stages)
+
+    def _config_fingerprint(self) -> Tuple:
+        """The configuration knobs a cached verdict depends on."""
+        sampler = self.config.sampler
+        return (
+            self.config.enable_bitblast,
+            self.config.bitblast_max_conflicts,
+            self.config.bitblast_max_width,
+            self.config.heuristic_max_checks,
+            self.config.seed,
+            sampler.random_attempts_per_sample,
+            sampler.hill_climb_steps,
+            sampler.seed,
+            sampler.boundary_bias,
+            sampler.perturbation_attempts,
+        )
+
+    def _run_portfolio(self, conjuncts: List[Term], stages: List[str]) -> SolverResult:
+        """Layers 2-5 over an already simplified, split conjunction."""
         variables = self._collect_variables(conjuncts)
         widths = {str(v.name): v.width for v in variables}
 
@@ -114,19 +195,13 @@ class PortfolioSolver:
         stages.append("intervals")
         feasible, bounds = propagate_intervals(conjuncts, widths)
         if not feasible:
-            return self._finish(
-                SolverResult(SolverStatus.UNSAT, reason="interval propagation"),
-                started,
-                stages,
-            )
+            return SolverResult(SolverStatus.UNSAT, reason="interval propagation")
         point_model = self._point_model_if_determined(variables, bounds)
         if point_model is not None and all(
             satisfies(c, point_model) for c in conjuncts
         ):
-            return self._finish(
-                SolverResult(SolverStatus.SAT, model=point_model, reason="interval point"),
-                started,
-                stages,
+            return SolverResult(
+                SolverStatus.SAT, model=point_model, reason="interval point"
             )
 
         whole = b.band(*conjuncts) if conjuncts else b.TRUE
@@ -137,11 +212,7 @@ class PortfolioSolver:
             whole, variables, max_checks=self.config.heuristic_max_checks
         )
         if model is not None:
-            return self._finish(
-                SolverResult(SolverStatus.SAT, model=model, reason="heuristics"),
-                started,
-                stages,
-            )
+            return SolverResult(SolverStatus.SAT, model=model, reason="heuristics")
 
         # Layer 4: guided sampling.
         stages.append("sampling")
@@ -153,11 +224,7 @@ class PortfolioSolver:
         )
         model = sampler.sample_one()
         if model is not None:
-            return self._finish(
-                SolverResult(SolverStatus.SAT, model=model, reason="sampling"),
-                started,
-                stages,
-            )
+            return SolverResult(SolverStatus.SAT, model=model, reason="sampling")
 
         # Layer 5: complete bit-blasting backend.
         if self.config.enable_bitblast and self._blastable(conjuncts):
@@ -165,23 +232,13 @@ class PortfolioSolver:
             status, model = self._bitblast(conjuncts)
             if status == SatStatus.SAT and model is not None:
                 restricted = model.restricted_to(widths)
-                return self._finish(
-                    SolverResult(SolverStatus.SAT, model=restricted, reason="bitblast"),
-                    started,
-                    stages,
+                return SolverResult(
+                    SolverStatus.SAT, model=restricted, reason="bitblast"
                 )
             if status == SatStatus.UNSAT:
-                return self._finish(
-                    SolverResult(SolverStatus.UNSAT, reason="bitblast"),
-                    started,
-                    stages,
-                )
+                return SolverResult(SolverStatus.UNSAT, reason="bitblast")
 
-        return self._finish(
-            SolverResult(SolverStatus.UNKNOWN, reason="portfolio exhausted"),
-            started,
-            stages,
-        )
+        return SolverResult(SolverStatus.UNKNOWN, reason="portfolio exhausted")
 
     def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
         """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""

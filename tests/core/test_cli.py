@@ -44,3 +44,57 @@ class TestCommands:
         assert main(["site", "vlc", "nothere.c@1"]) == 2
         err = capsys.readouterr().err
         assert "available" in err
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_the_whole_registry(self, capsys):
+        assert main(["campaign", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Total" in out
+        assert "40" in out
+        assert "solver cache:" in out
+
+    def test_campaign_serial_fallback(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--apps", "vlc"]) == 0
+        out = capsys.readouterr().out
+        assert "1 worker(s)" in out
+
+    def test_campaign_no_cache_flag(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--no-cache", "--apps", "vlc"]) == 0
+        out = capsys.readouterr().out
+        assert "solver cache: disabled" in out
+
+    def test_campaign_json_report(self, capsys):
+        assert main(["campaign", "--jobs", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 2
+        assert payload["cache_enabled"] is True
+        assert payload["unit_count"] == 40
+        assert payload["table1_totals"]["total_target_sites"] == 40
+        assert payload["cache_stats"]["hits"] > 0
+        assert set(payload["classifications"]) == set(payload["table1"])
+
+    def test_campaign_json_matches_serial_analyze(self, capsys):
+        """The acceptance bar: campaign output == serial Diode.analyze."""
+        assert main(["campaign", "--jobs", "4", "--json"]) == 0
+        campaign = json.loads(capsys.readouterr().out)
+
+        from repro.apps import all_applications
+        from repro.core import Diode
+
+        engine = Diode()
+        for application in all_applications():
+            result = engine.analyze(application)
+            serial = {
+                site.site.name: site.classification.value
+                for site in result.site_results
+            }
+            assert campaign["classifications"][result.application] == serial
+
+    def test_campaign_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--apps", "not-an-app"])
+
+    def test_campaign_rejects_bad_jobs_value(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--jobs", "many"])
