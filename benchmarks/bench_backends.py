@@ -1,0 +1,143 @@
+"""Execution-backend benchmark: serial vs thread vs process, plus parity.
+
+The contract this harness enforces is the acceptance bar of the backend
+subsystem: every backend — including ``process``, whose workers rebuild
+the application models on the far side of a pickle boundary and ship
+verdicts back as wire-format cache deltas — produces classifications
+byte-identical to the serial ``Diode.analyze`` reference path.
+
+Wall-clock numbers are reported for the trajectory record but *not*
+enforced across backends: on the single-CPU hosts this repo develops on,
+process workers pay fork/rebuild overhead without hardware parallelism to
+amortize it, so relative backend speed is host-dependent.  Parity is not.
+
+Emits a machine-readable ``BENCH_backends.json`` artifact; set
+``BENCH_ARTIFACT_DIR`` to redirect it.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+from bench_campaign import write_artifact
+from repro import __version__
+from repro.apps import all_applications
+from repro.core import Diode
+from repro.core.campaign import CampaignConfig, CampaignEngine, CampaignResult
+from repro.sched import available_backends
+
+#: Worker count used for the concurrent backends.
+JOBS = 2
+
+
+@dataclass
+class BackendMeasurement:
+    """One backend's arm of the comparison."""
+
+    backend: str
+    wall_seconds: float
+    result: CampaignResult
+
+    @property
+    def hit_rate(self) -> float:
+        stats = self.result.cache_stats
+        return stats.hit_rate() if stats is not None else 0.0
+
+
+def serial_reference() -> Dict[str, Dict[str, str]]:
+    """Classifications from the plain serial ``Diode.analyze`` path."""
+    engine = Diode()
+    reference: Dict[str, Dict[str, str]] = {}
+    for application in all_applications():
+        result = engine.analyze(application)
+        reference[result.application] = {
+            site.site.name: site.classification.value
+            for site in result.site_results
+        }
+    return reference
+
+
+def run_backend(backend: str) -> BackendMeasurement:
+    started = time.perf_counter()
+    result = CampaignEngine(
+        CampaignConfig(jobs=1 if backend == "serial" else JOBS, backend=backend)
+    ).run()
+    return BackendMeasurement(
+        backend=backend,
+        wall_seconds=time.perf_counter() - started,
+        result=result,
+    )
+
+
+def run_suite() -> List[BackendMeasurement]:
+    return [run_backend(name) for name in available_backends()]
+
+
+def print_suite(
+    measurements: List[BackendMeasurement], reference: Dict[str, Dict[str, str]]
+) -> None:
+    print("\n=== Execution backends: wall clock and serial-path parity ===")
+    for measurement in measurements:
+        parity = measurement.result.classifications() == reference
+        print(
+            f"{measurement.backend:8s}: {measurement.wall_seconds:7.3f}s  "
+            f"jobs={measurement.result.jobs}  "
+            f"hit rate {measurement.hit_rate:5.1%}  "
+            f"parity={'yes' if parity else 'NO'}"
+        )
+
+
+def artifact_payload(measurements: List[BackendMeasurement], parity: bool) -> dict:
+    return {
+        "benchmark": "backends",
+        "version": __version__,
+        "jobs": JOBS,
+        "parity": parity,
+        "backends": {
+            m.backend: {
+                "wall_seconds": round(m.wall_seconds, 4),
+                "hit_rate": round(m.hit_rate, 4),
+                "unit_count": m.result.unit_count,
+            }
+            for m in measurements
+        },
+    }
+
+
+@pytest.mark.benchmark(group="backends")
+def test_every_backend_matches_the_serial_reference(benchmark):
+    """Classification parity for serial, thread and process backends."""
+    reference = serial_reference()
+    measurements = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    print_suite(measurements, reference)
+    for measurement in measurements:
+        assert measurement.result.classifications() == reference, (
+            f"{measurement.backend} backend diverged from the serial path"
+        )
+
+
+def main() -> int:
+    reference = serial_reference()
+    measurements = run_suite()
+    print_suite(measurements, reference)
+    parity = all(m.result.classifications() == reference for m in measurements)
+    path = write_artifact(
+        artifact_payload(measurements, parity), name="BENCH_backends.json"
+    )
+    print(f"\nartifact written: {path}")
+    if not parity:
+        print("FAIL: a backend diverged from the serial Diode.analyze path")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,10 @@ Quickstart::
         print(site_result.site.name, site_result.classification.value)
 """
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version: the CLI's ``--version``,
+#: the campaign's ``--json`` output and the benchmark artifacts all read it
+#: from here.
+__version__ = "1.1.0"
 
 from repro.core.engine import Diode, DiodeConfig
 from repro.apps.registry import all_applications, application_names, get_application

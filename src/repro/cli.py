@@ -6,6 +6,7 @@ Four subcommands cover the common workflows::
     python -m repro.cli table1                   # all five applications, serially
     python -m repro.cli site dillo png.c@203     # one site, with enforcement steps
     python -m repro.cli campaign --jobs 4        # whole registry, campaign engine
+    python -m repro.cli campaign --backend process --jobs 4 --cache-dir .diode-cache
 
 The CLI is a thin layer over :class:`repro.core.engine.Diode` and
 :class:`repro.core.campaign.CampaignEngine`; it exists so the reproduction
@@ -19,9 +20,11 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.apps import all_applications, application_names, get_application
 from repro.core import CampaignConfig, CampaignEngine, Diode
 from repro.core.report import ApplicationResult
+from repro.sched import available_backends
 
 
 def _format_application_result(result: ApplicationResult, as_json: bool) -> str:
@@ -149,21 +152,42 @@ def _cmd_site(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.no_cache and args.cache_dir:
+        print(
+            "--cache-dir needs the solver cache; drop --no-cache to use a "
+            "persistent store",
+            file=sys.stderr,
+        )
+        return 2
     config = CampaignConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
         applications=args.apps or None,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        save_cache=not args.no_save_cache,
     )
     result = CampaignEngine(config).run()
 
     if args.json:
         payload = {
+            "version": __version__,
+            "backend": result.backend,
             "jobs": result.jobs,
             "cache_enabled": result.cache_enabled,
             "unit_count": result.unit_count,
             "wall_seconds": round(result.wall_seconds, 3),
             "cache_stats": (
                 result.cache_stats.as_dict() if result.cache_stats else None
+            ),
+            "cache_store": (
+                {
+                    "dir": args.cache_dir,
+                    "loaded": result.cache_loaded,
+                    "saved": result.cache_saved,
+                }
+                if args.cache_dir
+                else None
             ),
             "table1": {
                 app.application: app.table1_row()
@@ -201,7 +225,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     line = (
         f"\n{result.unit_count} sites analyzed in {result.wall_seconds:.2f}s "
-        f"with {result.jobs} worker(s)"
+        f"with {result.jobs} worker(s) on the {result.backend} backend"
     )
     if result.cache_stats is not None:
         stats = result.cache_stats
@@ -212,6 +236,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         line += "; solver cache: disabled"
     print(line)
+    if args.cache_dir:
+        print(
+            f"cache store {args.cache_dir}: warm-started {result.cache_loaded} "
+            f"entries, saved {result.cache_saved}"
+        )
     return 0
 
 
@@ -219,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="DIODE reproduction: targeted integer overflow discovery.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -248,9 +280,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads (default: one per CPU; 1 = serial fallback)",
     )
     campaign.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="thread",
+        help=(
+            "execution backend: serial (reference schedule), thread "
+            "(shared-cache work queue), process (CPU parallelism; "
+            "default: thread)"
+        ),
+    )
+    campaign.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the shared solver-result cache and simplify memo",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent solver-cache store: warm-start from DIR before the "
+            "run and save back after (created on first use)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-save-cache",
+        action="store_true",
+        help="with --cache-dir: load the store but do not write it back",
     )
     campaign.add_argument(
         "--apps",

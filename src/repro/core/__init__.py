@@ -14,9 +14,11 @@ The modules in this package implement the Figure-1 pipeline:
   enforcement algorithm (Figure 7).
 * :mod:`repro.core.engine` — the :class:`~repro.core.engine.Diode` front end
   and the pure per-site unit :func:`~repro.core.engine.analyze_site`.
-* :mod:`repro.core.campaign` — the parallel analysis campaign engine: a
-  work-queue scheduler over every ⟨application, site⟩ unit, backed by a
-  shared solver-result cache.
+* :mod:`repro.core.campaign` — the parallel analysis campaign engine:
+  every ⟨application, site⟩ unit scheduled over a pluggable execution
+  backend (:mod:`repro.sched`: serial / thread / process), backed by a
+  shared solver-result cache with optional cross-run persistence
+  (:mod:`repro.smt.cachestore`).
 * :mod:`repro.core.baselines` — the comparison strategies evaluated in
   Sections 5.4–5.6 (target-constraint-only sampling, full-path enforcement,
   random and taint-directed fuzzing).

@@ -2,11 +2,21 @@
 
 ``Diode.analyze`` walks one application's target sites strictly serially.
 A *campaign* instead treats every ⟨application, target site⟩ pair in the
-registry as one independent unit of work, fans the units out over a
-work-queue scheduler (``concurrent.futures.ThreadPoolExecutor``), and backs
-every unit's solver with one shared
-:class:`~repro.smt.cache.SolverCache` plus the persistent simplification
-memo, so enforcement iterations and sibling sites stop re-deriving work.
+registry as one independent unit of work and hands the unit list to a
+pluggable execution backend (:mod:`repro.sched`): ``serial`` (the
+deterministic reference schedule), ``thread`` (a work queue sharing one
+in-process cache) or ``process`` (real CPU parallelism over a process
+pool, with per-worker caches merged back into the parent).  Every unit's
+solver is backed by a shared :class:`~repro.smt.cache.SolverCache` plus
+the persistent simplification memo, so enforcement iterations and sibling
+sites stop re-deriving work.
+
+With a ``cache_dir``, the campaign also warm-starts across runs: the
+solver cache is loaded from a persistent
+:class:`~repro.smt.cachestore.CacheStore` before the units run (verified
+against the store format version and the solver-configuration
+fingerprint) and saved back afterwards, so a second campaign answers most
+of its queries from the first one's verdicts.
 
 Structure of a run:
 
@@ -15,35 +25,49 @@ Structure of a run:
    one :class:`FieldMapper` instead of one per site;
 2. identify target sites per application (the taint stage, timed as the
    paper's analysis phase);
-3. schedule one :func:`repro.core.engine.analyze_site` call per site —
-   serially when ``jobs <= 1`` (the deterministic fallback mode), otherwise
-   across ``jobs`` worker threads;
+3. hand one :class:`~repro.sched.base.CampaignUnit` per site to the
+   resolved backend, which schedules
+   :func:`repro.core.engine.analyze_site` calls over its workers;
 4. reassemble per-application :class:`ApplicationResult` records in registry
    order and aggregate the Table-1 / Table-2 report.
 
 Determinism: units are pure (see :func:`~repro.core.engine.analyze_site`)
 and results are slotted by (application, site) index, so the report is
-identical for any worker count.  The shared cache preserves this because a
-cached verdict is always derived from the query's canonical representative
-— a pure function of the query, not of scheduling order.
+identical for any backend and worker count.  The shared cache preserves
+this because a cached verdict is always derived from the query's canonical
+representative — a pure function of the query, not of scheduling order or
+of which run originally derived it.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps.appbase import Application
-from repro.apps.registry import build_applications
-from repro.core.detection import ErrorDetector
-from repro.core.engine import DiodeConfig, analyze_site
-from repro.core.fieldmap import FieldMapper
+from repro.apps.registry import application_names, build_applications
+from repro.core.engine import DiodeConfig
 from repro.core.report import ApplicationResult, OverflowBugReport, SiteResult
-from repro.core.sites import TargetSite, identify_target_sites
+from repro.sched import (
+    ApplicationContext,
+    CampaignUnit,
+    UnitAnalysisError,
+    UnitRunRequest,
+    build_application_context,
+    get_backend,
+)
 from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
+from repro.smt.cachestore import CacheStore
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignUnit",
+    "UnitAnalysisError",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -51,40 +75,45 @@ class CampaignConfig:
     """Configuration for one campaign run."""
 
     diode: DiodeConfig = field(default_factory=DiodeConfig)
-    #: Worker threads; ``None`` means one per CPU, ``1`` forces the
-    #: deterministic serial fallback path (no executor at all).
+    #: Workers; ``None`` means one per CPU, ``1`` forces the deterministic
+    #: serial schedule for the ``thread`` backend (no executor at all).
     jobs: Optional[int] = None
     #: Share a solver-result cache and the simplification memo across units.
     use_cache: bool = True
     #: Application short names to analyze; ``None`` means the whole registry.
     applications: Optional[Sequence[str]] = None
+    #: Execution backend name (see :func:`repro.sched.available_backends`).
+    backend: str = "thread"
+    #: Directory of the persistent cross-run solver-cache store; ``None``
+    #: disables persistence.
+    cache_dir: Optional[str] = None
+    #: Write the (possibly warm-started) cache back to ``cache_dir`` after
+    #: the run.  Ignored without a ``cache_dir``.
+    save_cache: bool = True
 
     def resolved_jobs(self) -> int:
         if self.jobs is None:
             return max(1, os.cpu_count() or 1)
         return max(1, self.jobs)
 
+    def resolved_backend(self) -> str:
+        """The backend that will actually run, after the serial fallback.
 
-@dataclass
-class _ApplicationContext:
-    """Shared immutable per-application collaborators."""
+        A single-worker ``thread`` pool is pure overhead, so ``jobs <= 1``
+        degrades it to ``serial``.  An explicit ``process`` request is
+        honoured even at one worker — the caller asked for process
+        isolation (and its pickling path), not for speed.
+        """
+        get_backend(self.backend)  # one source of name validation
+        if self.backend == "thread" and self.resolved_jobs() <= 1:
+            return "serial"
+        return self.backend
 
-    index: int
-    application: Application
-    detector: ErrorDetector
-    mapper: FieldMapper
-    sites: List[TargetSite]
-    analysis_seconds: float
-
-
-@dataclass(frozen=True)
-class CampaignUnit:
-    """One schedulable ⟨application, target site⟩ analysis."""
-
-    app_index: int
-    site_index: int
-    application_name: str
-    site_name: str
+    def registry_names(self) -> List[str]:
+        """Registry short names analyzed by this campaign, in order."""
+        if self.applications is None:
+            return application_names()
+        return list(self.applications)
 
 
 @dataclass
@@ -97,6 +126,11 @@ class CampaignResult:
     cache_enabled: bool
     unit_count: int
     cache_stats: Optional[SolverCacheStats] = None
+    backend: str = "thread"
+    #: Entries warm-started from the persistent store (0 on a cold run).
+    cache_loaded: int = 0
+    #: Entries written back to the persistent store (0 when not saving).
+    cache_saved: int = 0
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> List[Dict[str, int]]:
@@ -149,7 +183,15 @@ class CampaignEngine:
         """Run the campaign and return the aggregate report."""
         started = time.perf_counter()
         jobs = self.config.resolved_jobs()
+        backend_name = self.config.resolved_backend()
         cache = SolverCache() if self.config.use_cache else None
+
+        store: Optional[CacheStore] = None
+        fingerprint = self.config.diode.solver_fingerprint()
+        loaded = saved = 0
+        if cache is not None and self.config.cache_dir:
+            store = CacheStore(self.config.cache_dir)
+            loaded = store.load(cache, fingerprint)
 
         with simplify_memo(enabled=self.config.use_cache):
             contexts = self._build_contexts()
@@ -163,7 +205,18 @@ class CampaignEngine:
                 for context in contexts
                 for site_index, site in enumerate(context.sites)
             ]
-            site_results = self._run_units(contexts, units, cache, jobs)
+            request = UnitRunRequest(
+                contexts=contexts,
+                units=units,
+                cache=cache,
+                jobs=jobs,
+                diode=self.config.diode,
+                application_names=self.config.registry_names(),
+            )
+            site_results = get_backend(backend_name).run_units(request)
+
+        if store is not None and self.config.save_cache:
+            saved = store.save(cache, fingerprint)
 
         application_results = []
         for context in contexts:
@@ -185,66 +238,19 @@ class CampaignEngine:
             cache_enabled=self.config.use_cache,
             unit_count=len(units),
             cache_stats=cache.stats if cache is not None else None,
+            backend=backend_name,
+            cache_loaded=loaded,
+            cache_saved=saved,
         )
 
     # ------------------------------------------------------------------
-    def _build_contexts(self) -> List[_ApplicationContext]:
-        contexts = []
-        for index, application in enumerate(
-            build_applications(self.config.applications)
-        ):
-            identify_started = time.perf_counter()
-            sites = identify_target_sites(
-                application.program, application.seed_input
+    def _build_contexts(self) -> List[ApplicationContext]:
+        return [
+            build_application_context(index, application)
+            for index, application in enumerate(
+                build_applications(self.config.applications)
             )
-            analysis_seconds = time.perf_counter() - identify_started
-            contexts.append(
-                _ApplicationContext(
-                    index=index,
-                    application=application,
-                    detector=ErrorDetector(
-                        application.program, application.seed_input
-                    ),
-                    mapper=FieldMapper(application.format_spec),
-                    sites=sites,
-                    analysis_seconds=analysis_seconds,
-                )
-            )
-        return contexts
-
-    def _run_units(
-        self,
-        contexts: List[_ApplicationContext],
-        units: List[CampaignUnit],
-        cache: Optional[SolverCache],
-        jobs: int,
-    ) -> Dict[tuple, SiteResult]:
-        def run_unit(unit: CampaignUnit) -> SiteResult:
-            context = contexts[unit.app_index]
-            return analyze_site(
-                context.application,
-                context.sites[unit.site_index],
-                self.config.diode,
-                solver_cache=cache,
-                detector=context.detector,
-                field_mapper=context.mapper,
-            )
-
-        results: Dict[tuple, SiteResult] = {}
-        if jobs <= 1:
-            # Deterministic serial fallback: no executor, registry order.
-            for unit in units:
-                results[(unit.app_index, unit.site_index)] = run_unit(unit)
-            return results
-
-        with ThreadPoolExecutor(max_workers=jobs) as executor:
-            futures = {
-                (unit.app_index, unit.site_index): executor.submit(run_unit, unit)
-                for unit in units
-            }
-            for slot, future in futures.items():
-                results[slot] = future.result()
-        return results
+        ]
 
 
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:

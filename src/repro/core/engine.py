@@ -45,11 +45,25 @@ from repro.smt.solver import PortfolioSolver, SolverConfig
 
 @dataclass
 class DiodeConfig:
-    """Configuration for a DIODE analysis run."""
+    """Configuration for a DIODE analysis run.
+
+    The whole tree is primitives-only dataclasses, so a config pickles
+    cleanly into worker processes (the ``process`` execution backend ships
+    one per pool initializer).
+    """
 
     enforcement: EnforcementConfig = field(default_factory=EnforcementConfig)
     solver: SolverConfig = field(default_factory=SolverConfig)
     max_observations_per_site: int = 2
+
+    def solver_fingerprint(self) -> tuple:
+        """Fingerprint of the solver knobs cached verdicts depend on.
+
+        Keys every solver-cache entry and stamps the persistent
+        :class:`~repro.smt.cachestore.CacheStore`, so verdicts never leak
+        across configurations — within a run or between runs.
+        """
+        return self.solver.fingerprint()
 
 
 def analyze_site(
@@ -68,7 +82,8 @@ def analyze_site(
     ``solver_cache`` is thread-safe and idempotent, and a shared
     ``detector`` is immutable after construction), and is deterministic for
     a given application/site/config.  The campaign engine fans these calls
-    out across worker threads; :class:`Diode` runs them serially.
+    out across an execution backend's workers — threads or whole processes
+    (:mod:`repro.sched`); :class:`Diode` runs them serially.
     """
     config = config or DiodeConfig()
     started = time.perf_counter()

@@ -1,0 +1,76 @@
+"""Pluggable execution backends for the campaign engine.
+
+The campaign engine treats every ⟨application, target site⟩ pair as one
+independent unit of work; this package owns *how* those units are executed.
+Each strategy is a :class:`~repro.sched.base.Backend`:
+
+* ``serial`` (:mod:`repro.sched.serial`) — registry order, no executor; the
+  deterministic reference schedule.
+* ``thread`` (:mod:`repro.sched.thread`) — a ``ThreadPoolExecutor`` work
+  queue sharing one in-process :class:`~repro.smt.cache.SolverCache`;
+  under the GIL its win comes from the caches, not CPU parallelism.
+* ``process`` (:mod:`repro.sched.process`) — a ``ProcessPoolExecutor``
+  shipping slim picklable unit descriptors out and picklable
+  :class:`~repro.sched.process.SiteResultPayload` records (plus wire-format
+  solver-cache deltas) back, rebuilding per-application collaborators once
+  per worker; the only backend with real CPU parallelism.
+
+Classification parity is the contract: every backend must produce exactly
+the classifications of the serial ``Diode.analyze`` path.  The unit is pure
+and cached verdicts are derived from canonical representatives, so parity
+holds by construction; the test suite and ``benchmarks/bench_backends.py``
+enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.sched.base import (
+    Backend,
+    CampaignUnit,
+    UnitAnalysisError,
+    UnitRunRequest,
+)
+from repro.sched.context import ApplicationContext, build_application_context
+from repro.sched.process import ProcessBackend, SiteResultPayload
+from repro.sched.serial import SerialBackend
+from repro.sched.thread import ThreadBackend
+
+#: Registered backend classes, keyed by their CLI-visible names.
+BACKENDS: Dict[str, Type[Backend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, ThreadBackend, ProcessBackend)
+}
+
+
+def available_backends() -> List[str]:
+    """Names of the registered execution backends."""
+    return list(BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    backend = BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(BACKENDS)}"
+        )
+    return backend()
+
+
+__all__ = [
+    "ApplicationContext",
+    "BACKENDS",
+    "Backend",
+    "CampaignUnit",
+    "ProcessBackend",
+    "SerialBackend",
+    "SiteResultPayload",
+    "ThreadBackend",
+    "UnitAnalysisError",
+    "UnitRunRequest",
+    "available_backends",
+    "build_application_context",
+    "get_backend",
+]

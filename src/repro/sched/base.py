@@ -1,0 +1,135 @@
+"""The execution-backend interface and its shared scheduling helpers.
+
+A :class:`Backend` receives one :class:`UnitRunRequest` — the immutable
+per-application contexts, the flat unit list, the shared solver cache and
+the resolved worker count — and returns a ``(app_index, site_index) ->
+SiteResult`` mapping.  How the units run (inline, worker threads, worker
+processes) is entirely the backend's business; everything observable about
+the *results* must be schedule-independent.
+
+Error contract (shared by every backend through :func:`drain_futures`): the
+first unit failure cancels all still-pending sibling units, and the failure
+is re-raised as a :class:`UnitAnalysisError` carrying the failing unit's
+⟨application, site⟩ identity with the original exception chained as its
+``__cause__``.
+
+This module deliberately imports nothing from :mod:`repro.core` at module
+scope: the core package's campaign engine imports :mod:`repro.sched`, and
+deferring the reverse edge to call time keeps the import graph acyclic no
+matter which side is imported first.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_EXCEPTION, Future, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import DiodeConfig
+    from repro.core.report import SiteResult
+    from repro.sched.context import ApplicationContext
+    from repro.smt.cache import SolverCache
+
+#: Result-slot key: ``(app_index, site_index)``.
+Slot = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One schedulable ⟨application, target site⟩ analysis.
+
+    Only primitives — the descriptor must survive pickling into a worker
+    process, where the heavyweight collaborators are rebuilt from the
+    registry short name rather than shipped over the pipe.
+    """
+
+    app_index: int
+    site_index: int
+    application_name: str
+    site_name: str
+
+
+class UnitAnalysisError(RuntimeError):
+    """A campaign unit failed; carries the ⟨application, site⟩ identity."""
+
+    def __init__(self, unit: CampaignUnit, cause: BaseException) -> None:
+        self.unit = unit
+        self.application_name = unit.application_name
+        self.site_name = unit.site_name
+        super().__init__(
+            f"campaign unit ⟨{unit.application_name}, {unit.site_name}⟩ "
+            f"failed: {cause!r}"
+        )
+
+
+@dataclass
+class UnitRunRequest:
+    """Everything a backend needs to execute one campaign's units."""
+
+    contexts: List["ApplicationContext"]
+    units: List[CampaignUnit]
+    cache: Optional["SolverCache"]
+    jobs: int
+    diode: "DiodeConfig"
+    #: Registry short names indexed by ``app_index`` — what a worker process
+    #: needs to rebuild the application model on its side of the pipe.
+    application_names: List[str]
+
+    def run_unit(self, unit: CampaignUnit) -> "SiteResult":
+        """Execute one unit in-process against the shared contexts."""
+        from repro.core.engine import analyze_site
+
+        context = self.contexts[unit.app_index]
+        return analyze_site(
+            context.application,
+            context.sites[unit.site_index],
+            self.diode,
+            solver_cache=self.cache,
+            detector=context.detector,
+            field_mapper=context.mapper,
+        )
+
+    def worker_count(self) -> int:
+        """Workers actually worth spawning for this unit list."""
+        return max(1, min(self.jobs, len(self.units) or 1))
+
+
+class Backend(ABC):
+    """One strategy for executing a campaign's units."""
+
+    #: Registry / CLI name of the backend.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
+        """Run every unit and return results keyed by ``(app, site)`` index."""
+
+
+def drain_futures(
+    units: Sequence[CampaignUnit], futures: Sequence["Future"]
+) -> List[object]:
+    """Collect unit futures, with first-failure cancellation semantics.
+
+    Waits until every future finishes or any future raises.  On a failure,
+    all still-pending siblings are cancelled (already-running units cannot
+    be interrupted, but no new ones start) and the earliest-submitted
+    failure is re-raised as :class:`UnitAnalysisError` with the original
+    exception as ``__cause__``.  Otherwise returns results in submission
+    order.
+    """
+    wait(futures, return_when=FIRST_EXCEPTION)
+    failed_index: Optional[int] = None
+    for index, future in enumerate(futures):
+        if future.done() and not future.cancelled():
+            if future.exception() is not None:
+                failed_index = index
+                break
+    if failed_index is None:
+        return [future.result() for future in futures]
+
+    for future in futures:
+        future.cancel()
+    cause = futures[failed_index].exception()
+    raise UnitAnalysisError(units[failed_index], cause) from cause

@@ -1,0 +1,54 @@
+"""Per-application collaborator bundles shared by every backend.
+
+One :class:`ApplicationContext` holds the immutable collaborators every
+site of one application shares — the seed-run error detector, the field
+mapper and the identified target sites — so a backend builds them once per
+application (in-process backends) or once per ⟨worker, application⟩ pair
+(the process backend's lazy rebuild) instead of once per site.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.appbase import Application
+    from repro.core.detection import ErrorDetector
+    from repro.core.fieldmap import FieldMapper
+    from repro.core.sites import TargetSite
+
+
+@dataclass
+class ApplicationContext:
+    """Shared immutable per-application collaborators."""
+
+    index: int
+    application: "Application"
+    detector: "ErrorDetector"
+    mapper: "FieldMapper"
+    sites: List["TargetSite"]
+    #: Seconds spent identifying target sites (the paper's analysis phase).
+    analysis_seconds: float
+
+
+def build_application_context(
+    index: int, application: "Application"
+) -> ApplicationContext:
+    """Identify target sites and build the shared collaborators."""
+    from repro.core.detection import ErrorDetector
+    from repro.core.fieldmap import FieldMapper
+    from repro.core.sites import identify_target_sites
+
+    identify_started = time.perf_counter()
+    sites = identify_target_sites(application.program, application.seed_input)
+    analysis_seconds = time.perf_counter() - identify_started
+    return ApplicationContext(
+        index=index,
+        application=application,
+        detector=ErrorDetector(application.program, application.seed_input),
+        mapper=FieldMapper(application.format_spec),
+        sites=sites,
+        analysis_seconds=analysis_seconds,
+    )

@@ -1,0 +1,202 @@
+"""The process backend: real CPU parallelism over ``ProcessPoolExecutor``.
+
+Terms are hash-consed with identity equality, so nothing containing a
+:class:`~repro.smt.terms.Term` may cross the process boundary — a pickled
+term would rebuild as a distinct, non-interned object and silently break
+``is``-based equality.  The backend therefore ships only:
+
+* **out**: slim :class:`~repro.sched.base.CampaignUnit` descriptors
+  (primitives only); each worker rebuilds the application model and its
+  per-application collaborators from the registry short name, lazily and
+  at most once per ⟨worker, application⟩ pair;
+* **back**: :class:`SiteResultPayload` records (classification value, bug
+  report, timing — all term-free) plus the worker cache's *new* entries in
+  the :mod:`repro.smt.cachestore` wire format, which the parent merges
+  into the campaign cache so a persistent store (or a later run) sees
+  every worker's verdicts.
+
+Workers are primed at pool start with the parent cache's current contents
+(the warm-start path when a ``--cache-dir`` store was loaded), and report
+per-unit hit/miss counter deltas so the campaign's aggregate cache
+statistics reflect worker-side lookups.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sched.base import (
+    Backend,
+    CampaignUnit,
+    Slot,
+    UnitRunRequest,
+    drain_futures,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.report import OverflowBugReport, SiteResult
+    from repro.core.sites import TargetSite
+    from repro.sched.context import ApplicationContext
+
+
+@dataclass
+class SiteResultPayload:
+    """Picklable, term-free projection of a :class:`SiteResult`.
+
+    Carries exactly what the campaign report consumes — the classification,
+    the (already picklable) bug report and the discovery timing.  The
+    parent re-attaches its own :class:`TargetSite` object when rebuilding,
+    so sites never cross the pipe either.
+    """
+
+    classification: str
+    discovery_seconds: float
+    bug_report: Optional["OverflowBugReport"]
+
+    @classmethod
+    def from_site_result(cls, result: "SiteResult") -> "SiteResultPayload":
+        return cls(
+            classification=result.classification.value,
+            discovery_seconds=result.discovery_seconds,
+            bug_report=result.bug_report,
+        )
+
+    def to_site_result(self, site: "TargetSite") -> "SiteResult":
+        from repro.core.report import SiteClassification, SiteResult
+
+        return SiteResult(
+            site=site,
+            classification=SiteClassification(self.classification),
+            bug_report=self.bug_report,
+            discovery_seconds=self.discovery_seconds,
+        )
+
+
+class _WorkerState:
+    """Per-process collaborators, built once by the pool initializer."""
+
+    def __init__(
+        self,
+        application_names: List[str],
+        diode,
+        use_cache: bool,
+        seed_entries: List[dict],
+    ) -> None:
+        from repro.smt.cache import SimplifyMemo, SolverCache
+
+        self.application_names = application_names
+        self.diode = diode
+        self.cache = SolverCache() if use_cache else None
+        self.contexts: Dict[int, "ApplicationContext"] = {}
+        self.exported_keys: set = set()
+        self.stats_mark: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        if self.cache is not None:
+            # The memo stays enabled for the worker's whole lifetime; the
+            # process dies with the pool, so no disable pairing is needed.
+            SimplifyMemo.enable()
+            if seed_entries:
+                from repro.smt.cachestore import merge_wire_entries
+
+                merged = merge_wire_entries(self.cache, seed_entries)
+                self.exported_keys.update(merged)
+
+    def context_for(self, app_index: int) -> "ApplicationContext":
+        context = self.contexts.get(app_index)
+        if context is None:
+            from repro.apps.registry import get_application
+            from repro.sched.context import build_application_context
+
+            context = build_application_context(
+                app_index, get_application(self.application_names[app_index])
+            )
+            self.contexts[app_index] = context
+        return context
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _worker_init(
+    application_names: List[str],
+    diode,
+    use_cache: bool,
+    seed_entries: List[dict],
+) -> None:
+    global _STATE
+    _STATE = _WorkerState(application_names, diode, use_cache, seed_entries)
+
+
+def _worker_run(
+    unit: CampaignUnit,
+) -> Tuple[SiteResultPayload, List[dict], Tuple[int, int, int, int]]:
+    """Analyze one unit in the worker; return payload + cache delta."""
+    from repro.core.engine import analyze_site
+
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("process backend worker used before initialization")
+    context = state.context_for(unit.app_index)
+    result = analyze_site(
+        context.application,
+        context.sites[unit.site_index],
+        state.diode,
+        solver_cache=state.cache,
+        detector=context.detector,
+        field_mapper=context.mapper,
+    )
+
+    delta: List[dict] = []
+    stats_delta: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    if state.cache is not None:
+        from repro.smt.cachestore import export_wire_entries
+
+        delta, keys = export_wire_entries(state.cache, exclude=state.exported_keys)
+        state.exported_keys.update(keys)
+        mark = state.cache.stats_snapshot()
+        stats_delta = tuple(
+            now - before for now, before in zip(mark, state.stats_mark)
+        )
+        state.stats_mark = mark
+    return SiteResultPayload.from_site_result(result), delta, stats_delta
+
+
+class ProcessBackend(Backend):
+    """Fan units out over ``request.jobs`` worker processes."""
+
+    name = "process"
+
+    def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
+        seed_entries: List[dict] = []
+        if request.cache is not None:
+            from repro.smt.cachestore import export_wire_entries
+
+            seed_entries, _ = export_wire_entries(request.cache)
+
+        with ProcessPoolExecutor(
+            max_workers=request.worker_count(),
+            initializer=_worker_init,
+            initargs=(
+                list(request.application_names),
+                request.diode,
+                request.cache is not None,
+                seed_entries,
+            ),
+        ) as executor:
+            futures = [
+                executor.submit(_worker_run, unit) for unit in request.units
+            ]
+            payloads = drain_futures(request.units, futures)
+
+        results: Dict[Slot, object] = {}
+        for unit, (payload, delta, stats_delta) in zip(request.units, payloads):
+            site = request.contexts[unit.app_index].sites[unit.site_index]
+            results[(unit.app_index, unit.site_index)] = payload.to_site_result(site)
+            if request.cache is not None:
+                if delta:
+                    from repro.smt.cachestore import merge_wire_entries
+
+                    merge_wire_entries(request.cache, delta)
+                request.cache.add_external_stats(*stats_delta)
+        return results

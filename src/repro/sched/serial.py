@@ -1,0 +1,29 @@
+"""The serial backend: registry order, no executor, no shared-state races.
+
+This is the deterministic reference schedule every other backend is
+measured against, and the automatic fallback when the campaign resolves to
+a single worker (spawning an executor for one lane only adds overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sched.base import Backend, Slot, UnitAnalysisError, UnitRunRequest
+
+
+class SerialBackend(Backend):
+    """Run every unit inline, in unit-list (registry) order."""
+
+    name = "serial"
+
+    def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
+        results: Dict[Slot, object] = {}
+        for unit in request.units:
+            try:
+                results[(unit.app_index, unit.site_index)] = request.run_unit(unit)
+            except Exception as exc:
+                # Serial semantics match drain_futures: later units are
+                # "pending" and simply never start.
+                raise UnitAnalysisError(unit, exc) from exc
+        return results

@@ -1,0 +1,33 @@
+"""The thread backend: a work queue over ``ThreadPoolExecutor``.
+
+Every worker shares the campaign's :class:`~repro.smt.cache.SolverCache`
+and the process-wide simplification memo directly, so a verdict derived by
+one unit is visible to every sibling the moment it is stored.  Under the
+GIL the threads add no CPU parallelism for the pure-Python solver — the
+measured win comes from that sharing — which is exactly why the process
+backend exists.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+
+from repro.sched.base import Backend, Slot, UnitRunRequest, drain_futures
+
+
+class ThreadBackend(Backend):
+    """Fan units out over ``request.jobs`` worker threads."""
+
+    name = "thread"
+
+    def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
+        with ThreadPoolExecutor(max_workers=request.worker_count()) as executor:
+            futures = [
+                executor.submit(request.run_unit, unit) for unit in request.units
+            ]
+            payloads = drain_futures(request.units, futures)
+        return {
+            (unit.app_index, unit.site_index): payload
+            for unit, payload in zip(request.units, payloads)
+        }

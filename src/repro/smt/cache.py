@@ -77,12 +77,20 @@ class CachedVerdict:
 
 @dataclass
 class SolverCacheStats:
-    """Hit/miss counters for one :class:`SolverCache`."""
+    """Hit/miss counters for one :class:`SolverCache`.
+
+    ``hits``/``misses``/``stores``/``invalid_hits`` count this cache's own
+    lookups and stores; ``merged`` counts entries adopted wholesale from
+    elsewhere (a persistent on-disk store, a worker process's delta), and
+    ``evictions`` counts entries dropped by the ``max_entries`` bound.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalid_hits: int = 0
+    merged: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -99,6 +107,8 @@ class SolverCacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalid_hits": self.invalid_hits,
+            "merged": self.merged,
+            "evictions": self.evictions,
             "hit_rate": round(self.hit_rate(), 4),
         }
 
@@ -114,6 +124,10 @@ class SolverCache:
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
         self._entries: Dict[Tuple, CachedVerdict] = {}
+        # Canonical conjuncts per key, kept so entries can be exported —
+        # to a persistent CacheStore or across a process boundary — and
+        # rebuilt against a fresh intern table on the other side.
+        self._conjuncts: Dict[Tuple, Tuple[Term, ...]] = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.stats = SolverCacheStats()
@@ -170,13 +184,35 @@ class SolverCache:
             return entry
 
     def store(self, system: CanonicalSystem, verdict: CachedVerdict) -> None:
-        """Store the canonical verdict for ``system`` (idempotent)."""
+        """Store the canonical verdict for ``system`` (idempotent).
+
+        When ``max_entries`` is set the cache evicts in FIFO order: entries
+        are idempotent pure functions of their canonical system, so evicting
+        one can only cost a future re-derivation, never correctness.
+        """
         with self._lock:
-            if self.max_entries is not None and len(self._entries) >= self.max_entries:
-                if system.key not in self._entries:
-                    return
-            self._entries[system.key] = verdict
-            self.stats.stores += 1
+            if self._insert(system.key, system.conjuncts, verdict):
+                self.stats.stores += 1
+
+    def _insert(
+        self, key: Tuple, conjuncts: Tuple[Term, ...], verdict: CachedVerdict
+    ) -> bool:
+        """Insert under the held lock, evicting FIFO past ``max_entries``.
+
+        Returns whether the entry was stored — a non-positive
+        ``max_entries`` means "keep nothing", not "evict forever".
+        """
+        if self.max_entries is not None and key not in self._entries:
+            if self.max_entries <= 0:
+                return False
+            while len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self._conjuncts.pop(oldest, None)
+                self.stats.evictions += 1
+        self._entries[key] = verdict
+        self._conjuncts[key] = tuple(conjuncts)
+        return True
 
     def note_invalid_hit(self) -> None:
         """Record a hit whose translated model failed verification."""
@@ -187,8 +223,63 @@ class SolverCache:
         """Drop all entries and memos (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._conjuncts.clear()
             self._norm_memo.clear()
             self._key_memo.clear()
+
+    # ------------------------------------------------------------------
+    # Export / merge: the seam the persistent store and the process
+    # backend share.  Entries travel as (fingerprint, canonical conjuncts,
+    # verdict) triples; the key is recomputed from the receiving side's
+    # intern table, so intern ids never leak across process or run
+    # boundaries.
+    # ------------------------------------------------------------------
+    def entries_snapshot(
+        self, exclude_keys: Optional[set] = None
+    ) -> List[Tuple[Tuple, Tuple[Term, ...], CachedVerdict]]:
+        """Return ``(key, canonical conjuncts, verdict)`` for every entry."""
+        with self._lock:
+            return [
+                (key, self._conjuncts[key], verdict)
+                for key, verdict in self._entries.items()
+                if key in self._conjuncts
+                and (exclude_keys is None or key not in exclude_keys)
+            ]
+
+    def merge_canonical(
+        self,
+        fingerprint: Tuple,
+        conjuncts: Sequence[Term],
+        verdict: CachedVerdict,
+    ) -> Tuple:
+        """Adopt one exported entry; returns its key in this cache.
+
+        First writer wins: an entry already present (from this run's own
+        solving or an earlier merge) is kept — both derive from the same
+        canonical system, so they agree anyway.
+        """
+        conjuncts = tuple(conjuncts)
+        key = (fingerprint, tuple(t._id for t in conjuncts))
+        with self._lock:
+            if key not in self._entries and self._insert(key, conjuncts, verdict):
+                self.stats.merged += 1
+        return key
+
+    def stats_snapshot(self) -> Tuple[int, int, int, int]:
+        """Atomic ``(hits, misses, stores, invalid_hits)`` reading."""
+        with self._lock:
+            stats = self.stats
+            return (stats.hits, stats.misses, stats.stores, stats.invalid_hits)
+
+    def add_external_stats(
+        self, hits: int, misses: int, stores: int, invalid_hits: int
+    ) -> None:
+        """Fold counter deltas from a worker-local cache into this one."""
+        with self._lock:
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.stores += stores
+            self.stats.invalid_hits += invalid_hits
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,290 @@
+"""Persistent, sharded on-disk store for solver-cache entries.
+
+A campaign's :class:`~repro.smt.cache.SolverCache` holds verdicts keyed by
+canonical constraint systems.  Intern ids — the in-memory key material —
+are process-creation history and mean nothing outside the process, so the
+store serializes the *structure*: each entry is the canonical conjuncts in
+a small wire format plus the verdict (status, canonical model, reason).
+Loading re-interns every term against the current process's table and
+recomputes the key, so a warm start is exact regardless of how either
+process built its DAG.
+
+Layout under ``cache_dir``::
+
+    meta.json       {"version": ..., "fingerprint": [...], "entries": N}
+    shard-00.json   [entry, entry, ...]
+    ...
+    shard-15.json
+
+Entries are sharded by a stable content hash of their serialized conjuncts
+so individual files stay small and a partial corruption loses one shard,
+not the store.  ``meta.json`` carries the store format version and the
+solver-configuration fingerprint the verdicts were derived under; a
+mismatch on either invalidates the whole store (the verdicts may be stale
+under the new configuration), and the next save overwrites it.
+
+The same wire format doubles as the process backend's delta encoding:
+:func:`export_wire_entries` / :func:`merge_wire_entries` move entries
+between a worker's local cache and the parent campaign cache through a
+pickle-friendly list of plain dicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt.cache import CachedVerdict, SolverCache
+from repro.smt.evalmodel import Model
+from repro.smt.terms import Term, TermKind
+
+#: Bump when the wire format changes; mismatched stores are discarded.
+FORMAT_VERSION = 1
+
+#: Default number of shard files a store spreads its entries over.
+DEFAULT_SHARD_COUNT = 16
+
+_META_NAME = "meta.json"
+
+_KIND_BY_VALUE: Dict[str, TermKind] = {kind.value: kind for kind in TermKind}
+
+#: Errors that mean "this file/entry is unusable", not "crash the run".
+_WIRE_ERRORS = (KeyError, ValueError, TypeError, IndexError, AttributeError)
+
+
+# ----------------------------------------------------------------------
+# Term wire format
+# ----------------------------------------------------------------------
+def term_to_wire(term: Term) -> list:
+    """Serialize a term DAG into nested JSON-able lists."""
+    if term.kind is TermKind.BV_CONST:
+        return ["c", term.width, term.value]
+    if term.kind is TermKind.BOOL_CONST:
+        return ["C", 1 if term.value else 0]
+    if term.kind is TermKind.BV_VAR:
+        return ["v", term.width, str(term.name)]
+    if term.kind is TermKind.BOOL_VAR:
+        return ["V", str(term.name)]
+    return [
+        term.kind.value,
+        term.width,
+        list(term.params),
+        [term_to_wire(a) for a in term.args],
+    ]
+
+
+def term_from_wire(obj: Sequence) -> Term:
+    """Rebuild (and re-intern) a term from its wire form."""
+    tag = obj[0]
+    if tag == "c":
+        return Term.make(TermKind.BV_CONST, width=int(obj[1]), value=int(obj[2]))
+    if tag == "C":
+        return Term.make(TermKind.BOOL_CONST, value=bool(obj[1]))
+    if tag == "v":
+        return Term.make(TermKind.BV_VAR, width=int(obj[1]), name=str(obj[2]))
+    if tag == "V":
+        return Term.make(TermKind.BOOL_VAR, name=str(obj[1]))
+    kind = _KIND_BY_VALUE[tag]
+    width = None if obj[1] is None else int(obj[1])
+    params = tuple(int(p) for p in obj[2])
+    args = tuple(term_from_wire(a) for a in obj[3])
+    return Term.make(kind, args, width=width, params=params)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint + entry wire format
+# ----------------------------------------------------------------------
+def fingerprint_to_wire(fingerprint: Tuple) -> list:
+    """JSON-able form of a solver-configuration fingerprint."""
+    return [
+        fingerprint_to_wire(part) if isinstance(part, tuple) else part
+        for part in fingerprint
+    ]
+
+
+def fingerprint_from_wire(obj) -> Tuple:
+    """Inverse of :func:`fingerprint_to_wire` (lists become tuples)."""
+    if not isinstance(obj, (list, tuple)):
+        raise ValueError(f"malformed fingerprint wire object: {obj!r}")
+    return tuple(
+        fingerprint_from_wire(part) if isinstance(part, (list, tuple)) else part
+        for part in obj
+    )
+
+
+def entry_to_wire(conjuncts: Sequence[Term], verdict: CachedVerdict) -> dict:
+    """Serialize one (canonical conjuncts, verdict) pair."""
+    return {
+        "c": [term_to_wire(c) for c in conjuncts],
+        "s": verdict.status,
+        "m": (
+            None
+            if verdict.canonical_model is None
+            else verdict.canonical_model.as_dict()
+        ),
+        "r": verdict.reason,
+    }
+
+
+def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
+    """Inverse of :func:`entry_to_wire`."""
+    conjuncts = tuple(term_from_wire(c) for c in obj["c"])
+    model = None if obj.get("m") is None else Model(obj["m"])
+    return conjuncts, CachedVerdict(
+        status=str(obj["s"]), canonical_model=model, reason=str(obj.get("r", ""))
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache <-> wire-entry lists (shared with the process backend)
+# ----------------------------------------------------------------------
+def export_wire_entries(
+    cache: SolverCache, exclude: Optional[set] = None
+) -> Tuple[List[dict], List[Tuple]]:
+    """Serialize ``cache``'s entries (minus ``exclude`` keys).
+
+    Returns ``(wire_entries, keys)`` in matching order, so callers can
+    record which keys have been shipped already.
+    """
+    wire: List[dict] = []
+    keys: List[Tuple] = []
+    for key, conjuncts, verdict in cache.entries_snapshot(exclude_keys=exclude):
+        item = entry_to_wire(conjuncts, verdict)
+        item["f"] = fingerprint_to_wire(key[0])
+        wire.append(item)
+        keys.append(key)
+    return wire, keys
+
+
+def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tuple]:
+    """Adopt exported entries into ``cache``; returns the merged keys.
+
+    Malformed entries are skipped — a bad delta or file costs coverage,
+    never correctness.
+    """
+    merged: List[Tuple] = []
+    for item in wire_entries:
+        try:
+            fingerprint = fingerprint_from_wire(item["f"])
+            conjuncts, verdict = entry_from_wire(item)
+        except _WIRE_ERRORS:
+            continue
+        merged.append(cache.merge_canonical(fingerprint, conjuncts, verdict))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class CacheStore:
+    """Versioned, fingerprinted, sharded solver-cache persistence."""
+
+    def __init__(self, cache_dir: str, shard_count: int = DEFAULT_SHARD_COUNT) -> None:
+        self.cache_dir = str(cache_dir)
+        self.shard_count = max(1, int(shard_count))
+
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> str:
+        return os.path.join(self.cache_dir, _META_NAME)
+
+    def _shard_path(self, index: int) -> str:
+        return os.path.join(self.cache_dir, f"shard-{index:02d}.json")
+
+    @staticmethod
+    def _shard_of(conjunct_wire: list, shard_count: int) -> int:
+        payload = json.dumps(conjunct_wire, separators=(",", ":"), sort_keys=True)
+        digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+        return int(digest, 16) % shard_count
+
+    # ------------------------------------------------------------------
+    def load(self, cache: SolverCache, fingerprint: Tuple) -> int:
+        """Merge the store into ``cache``; returns entries merged.
+
+        Returns 0 — a cold start — when the store is absent, was written
+        by a different format version, or was derived under a different
+        solver-configuration fingerprint.
+        """
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return 0
+        try:
+            if meta.get("version") != FORMAT_VERSION:
+                return 0
+            if fingerprint_from_wire(meta.get("fingerprint", [])) != fingerprint:
+                return 0
+            shard_count = int(meta.get("shards", DEFAULT_SHARD_COUNT))
+        except _WIRE_ERRORS:
+            return 0
+
+        merged = 0
+        for index in range(shard_count):
+            try:
+                with open(self._shard_path(index), "r", encoding="utf-8") as handle:
+                    entries = json.load(handle)
+            except FileNotFoundError:
+                continue
+            except (OSError, json.JSONDecodeError):
+                # One corrupt shard loses its entries, not the store.
+                continue
+            if not isinstance(entries, list):
+                continue
+            for item in entries:
+                try:
+                    conjuncts, verdict = entry_from_wire(item)
+                except _WIRE_ERRORS:
+                    continue
+                cache.merge_canonical(fingerprint, conjuncts, verdict)
+                merged += 1
+        return merged
+
+    # ------------------------------------------------------------------
+    def save(self, cache: SolverCache, fingerprint: Tuple) -> int:
+        """Write ``cache``'s entries for ``fingerprint``; returns the count.
+
+        The whole store is rewritten (entry counts are small — thousands,
+        not millions) with per-file atomic replaces, so a reader racing a
+        writer sees complete files.
+        """
+        shards: Dict[int, List[dict]] = {}
+        saved = 0
+        for key, conjuncts, verdict in cache.entries_snapshot():
+            if key[0] != fingerprint:
+                continue
+            wire = entry_to_wire(conjuncts, verdict)
+            shards.setdefault(self._shard_of(wire["c"], self.shard_count), []).append(
+                wire
+            )
+            saved += 1
+
+        os.makedirs(self.cache_dir, exist_ok=True)
+        for index in range(self.shard_count):
+            path = self._shard_path(index)
+            entries = shards.get(index)
+            if not entries:
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+                continue
+            self._write_atomic(path, entries)
+        self._write_atomic(
+            self._meta_path(),
+            {
+                "version": FORMAT_VERSION,
+                "fingerprint": fingerprint_to_wire(fingerprint),
+                "shards": self.shard_count,
+                "entries": saved,
+            },
+        )
+        return saved
+
+    @staticmethod
+    def _write_atomic(path: str, payload) -> None:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp_path, path)

@@ -80,6 +80,29 @@ class SolverConfig:
     heuristic_max_checks: int = 768
     seed: Optional[int] = 0
 
+    def fingerprint(self) -> Tuple:
+        """The knobs a cached verdict depends on.
+
+        Part of every solver-cache key, and the validity stamp of a
+        persistent :class:`~repro.smt.cachestore.CacheStore` — results
+        computed under different budgets must never be conflated, within a
+        run or across runs.  Primitives only, so it survives a JSON round
+        trip unchanged.
+        """
+        sampler = self.sampler
+        return (
+            self.enable_bitblast,
+            self.bitblast_max_conflicts,
+            self.bitblast_max_width,
+            self.heuristic_max_checks,
+            self.seed,
+            sampler.random_attempts_per_sample,
+            sampler.hill_climb_steps,
+            sampler.seed,
+            sampler.boundary_bias,
+            sampler.perturbation_attempts,
+        )
+
 
 class PortfolioSolver:
     """Layered QF_BV solver: simplify → intervals → heuristics → sampling → CDCL.
@@ -172,19 +195,7 @@ class PortfolioSolver:
 
     def _config_fingerprint(self) -> Tuple:
         """The configuration knobs a cached verdict depends on."""
-        sampler = self.config.sampler
-        return (
-            self.config.enable_bitblast,
-            self.config.bitblast_max_conflicts,
-            self.config.bitblast_max_width,
-            self.config.heuristic_max_checks,
-            self.config.seed,
-            sampler.random_attempts_per_sample,
-            sampler.hill_climb_steps,
-            sampler.seed,
-            sampler.boundary_bias,
-            sampler.perturbation_attempts,
-        )
+        return self.config.fingerprint()
 
     def _run_portfolio(self, conjuncts: List[Term], stages: List[str]) -> SolverResult:
         """Layers 2-5 over an already simplified, split conjunction."""

@@ -1,0 +1,222 @@
+"""Tests for the pluggable execution-backend subsystem (:mod:`repro.sched`).
+
+Two contracts:
+
+1. **Parity** — every backend (serial, thread, process) produces exactly
+   the classifications of the plain serial ``Diode.analyze`` path; the
+   process backend's pickle boundary and per-worker caches must be
+   invisible in the results.
+2. **Failure semantics** — the first failing unit cancels its pending
+   siblings and surfaces as a :class:`UnitAnalysisError` carrying the
+   ⟨application, site⟩ identity with the original exception chained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_application
+from repro.core import Diode
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.sched import (
+    BACKENDS,
+    CampaignUnit,
+    UnitAnalysisError,
+    UnitRunRequest,
+    available_backends,
+    build_application_context,
+    get_backend,
+)
+from repro.sched.serial import SerialBackend
+from repro.sched.thread import ThreadBackend
+
+#: Registry subset used by the parity tests — big enough to exercise both
+#: a multi-site application and cross-application scheduling, small enough
+#: to keep the process-pool tests cheap on single-CPU hosts.
+SUBSET = ["vlc", "cwebp"]
+
+
+@pytest.fixture(scope="module")
+def serial_diode_reference():
+    """Site classifications from the plain serial Diode path, for SUBSET."""
+    engine = Diode()
+    reference = {}
+    for name in SUBSET:
+        result = engine.analyze(get_application(name))
+        reference[result.application] = {
+            site.site.name: site.classification.value
+            for site in result.site_results
+        }
+    return reference
+
+
+class TestBackendRegistry:
+    def test_all_three_backends_are_registered(self):
+        assert set(available_backends()) == {"serial", "thread", "process"}
+
+    def test_get_backend_returns_named_instances(self):
+        for name in available_backends():
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+        with pytest.raises(ValueError, match="unknown backend"):
+            CampaignConfig(backend="gpu").resolved_backend()
+
+    def test_single_worker_thread_campaign_degrades_to_serial(self):
+        assert CampaignConfig(jobs=1, backend="thread").resolved_backend() == "serial"
+        assert CampaignConfig(jobs=4, backend="thread").resolved_backend() == "thread"
+        # An explicit process request is honoured even at one worker.
+        assert CampaignConfig(jobs=1, backend="process").resolved_backend() == "process"
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_matches_serial_diode_path(
+        self, backend, serial_diode_reference
+    ):
+        result = run_campaign(
+            CampaignConfig(jobs=2, backend=backend, applications=SUBSET)
+        )
+        assert result.backend == backend
+        assert result.classifications() == serial_diode_reference
+
+    def test_process_backend_without_cache(self, serial_diode_reference):
+        result = run_campaign(
+            CampaignConfig(
+                jobs=2, backend="process", use_cache=False, applications=SUBSET
+            )
+        )
+        assert result.cache_stats is None
+        assert result.classifications() == serial_diode_reference
+
+    def test_process_backend_aggregates_worker_cache_stats(self):
+        result = run_campaign(
+            CampaignConfig(jobs=2, backend="process", applications=SUBSET)
+        )
+        stats = result.cache_stats
+        assert stats is not None
+        # Workers did the lookups; the parent must still see them.
+        assert stats.lookups > 0
+        # Worker verdicts were merged back into the parent cache.
+        assert stats.merged > 0
+
+    def test_process_backend_bug_reports_survive_the_pickle_boundary(
+        self, serial_diode_reference
+    ):
+        process = run_campaign(
+            CampaignConfig(jobs=2, backend="process", applications=SUBSET)
+        )
+        serial = run_campaign(
+            CampaignConfig(jobs=1, backend="serial", applications=SUBSET)
+        )
+        key = lambda r: (r.application, r.target, r.cve, r.error_type)
+        assert sorted(map(key, process.bug_reports())) == sorted(
+            map(key, serial.bug_reports())
+        )
+
+
+def _make_request(monkeypatch_analyze=None, jobs=1):
+    """A small real request over vlc's sites, optionally with a failing unit."""
+    application = get_application("vlc")
+    context = build_application_context(0, application)
+    units = [
+        CampaignUnit(
+            app_index=0,
+            site_index=index,
+            application_name=application.name,
+            site_name=site.name,
+        )
+        for index, site in enumerate(context.sites)
+    ]
+    return UnitRunRequest(
+        contexts=[context],
+        units=units,
+        cache=None,
+        jobs=jobs,
+        diode=None,  # replaced by stubs below; real runs build a DiodeConfig
+        application_names=["vlc"],
+    )
+
+
+class TestFailureSemantics:
+    def test_serial_backend_wraps_failure_with_unit_identity(self, monkeypatch):
+        request = _make_request()
+        executed = []
+
+        def exploding(unit):
+            executed.append(unit.site_name)
+            if len(executed) == 2:
+                raise RuntimeError("solver meltdown")
+            return object()
+
+        monkeypatch.setattr(request, "run_unit", exploding)
+        with pytest.raises(UnitAnalysisError) as info:
+            SerialBackend().run_units(request)
+        error = info.value
+        assert error.application_name == "VLC 0.8.6h"
+        assert error.site_name == request.units[1].site_name
+        assert isinstance(error.__cause__, RuntimeError)
+        assert "solver meltdown" in repr(error.__cause__)
+        # Serial semantics: units after the failure never start.
+        assert executed == [request.units[0].site_name, request.units[1].site_name]
+
+    def test_thread_backend_cancels_pending_units_on_failure(self, monkeypatch):
+        # One worker makes the schedule deterministic: unit 0 raises while
+        # units 1..n are still queued, so they must be cancelled, not run.
+        request = _make_request(jobs=1)
+        executed = []
+
+        def exploding(unit):
+            executed.append(unit.site_name)
+            raise RuntimeError("first unit fails")
+
+        monkeypatch.setattr(request, "run_unit", exploding)
+        with pytest.raises(UnitAnalysisError) as info:
+            ThreadBackend().run_units(request)
+        assert info.value.site_name == request.units[0].site_name
+        assert info.value.application_name == request.units[0].application_name
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert executed == [request.units[0].site_name]
+
+    def test_thread_backend_reports_earliest_submitted_failure(self, monkeypatch):
+        request = _make_request(jobs=2)
+
+        def exploding(unit):
+            raise ValueError(f"boom {unit.site_index}")
+
+        monkeypatch.setattr(request, "run_unit", exploding)
+        with pytest.raises(UnitAnalysisError) as info:
+            ThreadBackend().run_units(request)
+        # Every unit fails; the surfaced one must be the earliest submitted
+        # among the completed, with its identity in the message.
+        assert info.value.site_name in {u.site_name for u in request.units}
+        assert info.value.application_name == "VLC 0.8.6h"
+        assert info.value.site_name in str(info.value)
+
+    def test_process_backend_surfaces_worker_failures(self):
+        # A real failure on the far side of the pickle boundary: an unknown
+        # registry name makes every worker's context rebuild explode.
+        request = _make_request(jobs=2)
+        request.application_names = ["no-such-app"]
+        from repro.core.engine import DiodeConfig
+        from repro.sched.process import ProcessBackend
+
+        request.diode = DiodeConfig()
+        with pytest.raises(UnitAnalysisError) as info:
+            ProcessBackend().run_units(request)
+        assert info.value.application_name == "VLC 0.8.6h"
+        assert info.value.__cause__ is not None
+
+
+class TestCampaignBackendSurface:
+    def test_campaign_result_records_resolved_backend(self):
+        result = run_campaign(
+            CampaignConfig(jobs=1, backend="thread", applications=["vlc"])
+        )
+        assert result.backend == "serial"
+
+    def test_backends_registry_is_consistent(self):
+        for name, backend in BACKENDS.items():
+            assert backend.name == name

@@ -98,3 +98,81 @@ class TestCampaignCommand:
     def test_campaign_rejects_bad_jobs_value(self):
         with pytest.raises(SystemExit):
             main(["campaign", "--jobs", "many"])
+
+    def test_campaign_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--backend", "gpu"])
+
+    def test_campaign_rejects_cache_dir_with_no_cache(self, capsys, tmp_path):
+        code = main(
+            [
+                "campaign",
+                "--no-cache",
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--apps",
+                "vlc",
+            ]
+        )
+        assert code == 2
+        assert "--no-cache" in capsys.readouterr().err
+        assert not (tmp_path / "store").exists()
+
+    def test_campaign_process_backend_json(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--backend",
+                    "process",
+                    "--jobs",
+                    "2",
+                    "--apps",
+                    "vlc",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "process"
+        assert payload["version"]
+        assert payload["table1_totals"]["total_target_sites"] == 4
+
+    def test_campaign_cache_dir_warm_start(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        args = ["campaign", "--jobs", "1", "--apps", "vlc", "--cache-dir", cache_dir]
+        assert main(args + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache_store"]["loaded"] == 0
+        assert cold["cache_store"]["saved"] > 0
+
+        assert main(args + ["--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache_store"]["loaded"] == cold["cache_store"]["saved"]
+        assert (
+            warm["cache_stats"]["hit_rate"] > cold["cache_stats"]["hit_rate"]
+        )
+        assert warm["classifications"] == cold["classifications"]
+
+    def test_campaign_text_output_names_backend_and_store(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "store")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "vlc", "--cache-dir", cache_dir]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "on the serial backend" in out
+        assert "cache store" in out
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert __version__ in capsys.readouterr().out

@@ -229,6 +229,68 @@ class TestCacheStore:
         solver.check([b.ult(x, b.bv_const(20, 32))])
         assert len(cache) == 1
 
+    def test_eviction_is_fifo_and_counted(self):
+        """At capacity the *oldest* entry is evicted; newer ones survive."""
+        cache = SolverCache(max_entries=2)
+        solver = PortfolioSolver(cache=cache)
+        x = b.bv_var("x", 32)
+        systems = [
+            [b.ult(x, b.bv_const(bound, 32))] for bound in (10, 20, 30)
+        ]
+        for system in systems:
+            solver.check(system)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.stats.stores == 3
+        # The first system was evicted: querying it again misses and
+        # re-stores; the third (newest) still hits.
+        hits_before = cache.stats.hits
+        solver.check(systems[2])
+        assert cache.stats.hits == hits_before + 1
+        misses_before = cache.stats.misses
+        solver.check(systems[0])
+        assert cache.stats.misses == misses_before + 1
+
+    def test_evicted_entries_disappear_from_snapshots(self):
+        cache = SolverCache(max_entries=1)
+        solver = PortfolioSolver(cache=cache)
+        x = b.bv_var("x", 32)
+        solver.check([b.ult(x, b.bv_const(10, 32))])
+        solver.check([b.ult(x, b.bv_const(20, 32))])
+        snapshot = cache.entries_snapshot()
+        assert len(snapshot) == 1
+
+    def test_zero_max_entries_stores_nothing_without_crashing(self):
+        """``max_entries=0`` means "keep nothing", not an eviction loop on
+        an empty dict."""
+        cache = SolverCache(max_entries=0)
+        solver = PortfolioSolver(cache=cache)
+        x = b.bv_var("x", 32)
+        result = solver.check([b.ult(x, b.bv_const(10, 32))])
+        assert result.is_sat
+        assert len(cache) == 0
+        assert cache.stats.stores == 0
+        cache.merge_canonical(
+            ("fp",),
+            (b.ult(b.bv_var("v000", 32), b.bv_const(3, 32)),),
+            CachedVerdict(status="unsat", canonical_model=None, reason=""),
+        )
+        assert len(cache) == 0
+        assert cache.stats.merged == 0
+
+    def test_merge_respects_the_entry_bound(self):
+        cache = SolverCache(max_entries=1)
+        for index in range(3):
+            x = b.bv_var("v000", 8)
+            cache.merge_canonical(
+                ("fp",),
+                (b.eq(x, b.bv_const(index, 8)),),
+                CachedVerdict(status="unsat", canonical_model=None, reason=""),
+            )
+        assert len(cache) == 1
+        assert cache.stats.merged == 3
+        assert cache.stats.evictions == 2
+
     def test_unsat_verdicts_are_shared(self):
         """Blocking-check systems over renamed fields share one UNSAT proof.
 
@@ -255,6 +317,54 @@ class TestCacheStore:
         mirrored = solver.check(second)
         assert mirrored.is_unsat
         assert mirrored.reason == "cache"
+
+    def test_concurrent_stats_counters_stay_consistent(self):
+        """Hit/miss/store counters under many workers racing on a mix of
+        shared and distinct systems: every lookup is counted exactly once,
+        and the invariants hold regardless of interleaving."""
+        cache = SolverCache()
+        x, y = b.bv_var("x", 16), b.bv_var("y", 16)
+        systems = [
+            [b.ult(x, b.bv_const(bound, 16))] for bound in (5, 9, 13, 17)
+        ] + [[b.ugt(b.add(x, y), b.bv_const(40, 16))]]
+        queries_per_worker = 10
+        workers = 8
+
+        def worker(index):
+            solver = PortfolioSolver(cache=cache)
+            for i in range(queries_per_worker):
+                solver.check(systems[(index + i) % len(systems)])
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats
+        assert stats.lookups == workers * queries_per_worker
+        assert stats.hits + stats.misses == stats.lookups
+        # Each distinct system is solved at least once; races may solve one
+        # several times (idempotent stores), so stores is bounded below by
+        # the system count and above by the miss count.
+        assert len(systems) <= stats.stores <= stats.misses
+        assert len(cache) == len(systems)
+
+    def test_external_stats_are_folded_in(self):
+        """The process backend folds worker-side counter deltas into the
+        campaign cache so aggregate hit rates reflect worker lookups."""
+        cache = SolverCache()
+        cache.add_external_stats(7, 3, 2, 1)
+        cache.add_external_stats(3, 2, 1, 0)
+        assert cache.stats.hits == 10
+        assert cache.stats.misses == 5
+        assert cache.stats.stores == 3
+        assert cache.stats.invalid_hits == 1
+        assert cache.stats.lookups == 15
+        assert cache.stats.hit_rate() == pytest.approx(10 / 15)
 
     def test_concurrent_queries_are_consistent(self):
         cache = SolverCache()
