@@ -1,0 +1,434 @@
+"""Incremental-solving benchmark: sessions, decomposition, component cache.
+
+Three workloads back the acceptance bar of the incremental solving stack
+(PR 3), each comparing the *fresh-query* reference path (sessions and
+decomposition disabled — every query re-simplified, re-blasted and solved
+from scratch) against the *incremental* path (solver sessions with a
+persistent bit-blaster, assumption-based CDCL with learned-clause
+retention, connected-component decomposition and the component-granularity
+cache):
+
+1. **Registry parity** — the full registry campaign, default
+   configuration.  The hard invariant: the incremental path produces
+   byte-identical site classifications.  Enforced, not observed.
+2. **Enforcement chains** — growing constraint chains shaped exactly like
+   the enforcement loop's query sequence (an overflow target constraint β,
+   then one appended sanity-check constraint per iteration, ending in
+   checks that only the complete backend can decide).  The incremental arm
+   must finish with *lower total CDCL conflicts* and *lower bit-blast/CDCL
+   time* than the fresh arm, with identical per-check statuses.
+3. **Sibling-site screening** — multi-site feasibility conjunctions built
+   from the registry's real per-site target constraints.  Different sites
+   constrain different input fields, so these queries decompose; the
+   incremental arm must answer some components from the component cache
+   (``component hits > 0``) while returning identical statuses.
+
+Emits a machine-readable ``BENCH_solver.json`` artifact; set
+``BENCH_ARTIFACT_DIR`` to redirect it.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import pytest
+
+from bench_campaign import write_artifact
+from repro import __version__
+from repro.apps import all_applications
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.fieldmap import FieldMapper
+from repro.core.overflow import overflow_constraint
+from repro.core.sites import identify_target_sites
+from repro.core.target import extract_target_observations
+from repro.smt import builder as b
+from repro.smt.cache import SolverCache
+from repro.smt.sampler import SamplerConfig
+from repro.smt.solver import TELEMETRY, PortfolioSolver, SolverConfig
+
+#: Number of alpha/constant-varied enforcement chains in workload 2.
+CHAIN_COUNT = 4
+
+
+# ----------------------------------------------------------------------
+# Shared arm harness
+# ----------------------------------------------------------------------
+@dataclass
+class ArmMeasurement:
+    """One arm (fresh or incremental) of a workload."""
+
+    label: str
+    wall_seconds: float
+    statuses: List[str]
+    telemetry: Dict[str, float]
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def conflicts(self) -> int:
+        return int(self.telemetry["cdcl_conflicts"])
+
+    @property
+    def bitblast_seconds(self) -> float:
+        return float(self.telemetry["bitblast_seconds"])
+
+
+def _solver_config(incremental: bool, **overrides) -> SolverConfig:
+    config = SolverConfig(
+        enable_sessions=incremental,
+        enable_decomposition=incremental,
+        **overrides,
+    )
+    return config
+
+
+# ----------------------------------------------------------------------
+# Workload 1: full-registry classification parity
+# ----------------------------------------------------------------------
+def run_registry_parity() -> Tuple[dict, dict, bool]:
+    """Serial campaign over the whole registry, incremental vs fresh."""
+
+    def classifications(incremental: bool):
+        config = CampaignConfig(jobs=1, backend="serial")
+        config.diode.solver.enable_sessions = incremental
+        config.diode.solver.enable_decomposition = incremental
+        started = time.perf_counter()
+        result = run_campaign(config)
+        return {
+            "wall_seconds": round(time.perf_counter() - started, 4),
+            "classifications": result.classifications(),
+        }
+
+    fresh = classifications(False)
+    incremental = classifications(True)
+    parity = fresh["classifications"] == incremental["classifications"]
+    return fresh, incremental, parity
+
+
+# ----------------------------------------------------------------------
+# Workload 2: enforcement-shaped chains through the complete backend
+# ----------------------------------------------------------------------
+def _enforcement_chain(variant: int):
+    """One β + appended-sanity-check chain, like the enforcement loop's.
+
+    The alignment and low-byte checksum equalities defeat the incomplete
+    layers (interval corners and boundary-biased sampling never land on
+    exact low-bit patterns), so every iteration reaches bit-blasting —
+    the regime where a session's CNF and learned-clause reuse pays.  The
+    final parity constraint contradicts the alignment check in a way
+    interval propagation cannot see, so the UNSAT tail also exercises the
+    complete backend.
+    """
+    w = b.bv_var(f"w{variant}", 16)
+    h = b.bv_var(f"h{variant}", 16)
+    beta = b.ugt(
+        b.mul(b.zext(w, 32), b.zext(h, 32)), b.bv_const(0x00FFFFFF, 32)
+    )
+    deltas = [
+        b.ult(w, b.bv_const(0xC000 - variant * 64, 16)),
+        b.ult(h, b.bv_const(0xB000 + variant * 32, 16)),
+        b.eq(b.bvand(w, b.bv_const(0x0007, 16)), b.bv_const(5, 16)),
+        b.eq(b.bvand(h, b.bv_const(0x0003, 16)), b.bv_const(2, 16)),
+        b.ult(b.add(w, h), b.bv_const(0x5000, 16)),
+        b.eq(
+            b.bvand(b.add(w, h), b.bv_const(0x00FF, 16)),
+            b.bv_const((0x47 + variant) & 0xFF, 16),
+        ),
+        b.eq(b.bvand(w, b.bv_const(1, 16)), b.bv_const(0, 16)),
+    ]
+    return beta, deltas
+
+
+def run_enforcement_chains(incremental: bool) -> ArmMeasurement:
+    """Replay the chains through one arm; returns per-arm measurements."""
+    config = _solver_config(
+        incremental,
+        sampler=SamplerConfig(
+            random_attempts_per_sample=3,
+            hill_climb_steps=2,
+            perturbation_attempts=2,
+            seed=0,
+        ),
+        heuristic_max_checks=4,
+        bitblast_max_conflicts=100_000,
+    )
+    cache = SolverCache()
+    solver = PortfolioSolver(config, cache=cache)
+    statuses: List[str] = []
+    TELEMETRY.reset()
+    started = time.perf_counter()
+    for variant in range(CHAIN_COUNT):
+        beta, deltas = _enforcement_chain(variant)
+        if incremental:
+            session = solver.open_session()
+            session.push(beta)
+            statuses.append(session.check().status)
+            for delta in deltas:
+                session.push(delta)
+                statuses.append(session.check().status)
+        else:
+            constraints = [beta]
+            statuses.append(solver.check(constraints).status)
+            for delta in deltas:
+                constraints.append(delta)
+                statuses.append(solver.check(constraints).status)
+    return ArmMeasurement(
+        label="incremental" if incremental else "fresh",
+        wall_seconds=time.perf_counter() - started,
+        statuses=statuses,
+        telemetry=TELEMETRY.snapshot(),
+        cache_stats=cache.stats.as_dict(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload 3: sibling-site screening over real registry constraints
+# ----------------------------------------------------------------------
+def _registry_betas():
+    """Per-application lists of the real per-site target constraints."""
+    per_app = []
+    for app in all_applications():
+        mapper = FieldMapper(app.format_spec)
+        betas = []
+        for site in identify_target_sites(app.program, app.seed_input):
+            observations = extract_target_observations(
+                app.program,
+                app.seed_input,
+                site,
+                field_mapper=mapper,
+                max_observations=1,
+            )
+            if observations and observations[0].size_expression is not None:
+                betas.append(
+                    overflow_constraint(observations[0].size_expression)
+                )
+        per_app.append(betas)
+    return per_app
+
+
+def run_screening(incremental: bool) -> ArmMeasurement:
+    """Screen each application's sites jointly: can overflows co-trigger?
+
+    The conjunction grows one site's β at a time (infeasible additions are
+    dropped), so successive queries share every previously admitted site's
+    component — the component cache's designed case.
+    """
+    config = _solver_config(incremental)
+    cache = SolverCache()
+    statuses: List[str] = []
+    TELEMETRY.reset()
+    started = time.perf_counter()
+    for betas in _registry_betas():
+        solver = PortfolioSolver(config, cache=cache)
+        if incremental:
+            session = solver.open_session()
+            for beta in betas:
+                session.push(beta)
+                result = session.check()
+                statuses.append(result.status)
+                if not result.is_sat:
+                    session.pop()
+        else:
+            admitted: List = []
+            for beta in betas:
+                result = solver.check(admitted + [beta])
+                statuses.append(result.status)
+                if result.is_sat:
+                    admitted.append(beta)
+    return ArmMeasurement(
+        label="incremental" if incremental else "fresh",
+        wall_seconds=time.perf_counter() - started,
+        statuses=statuses,
+        telemetry=TELEMETRY.snapshot(),
+        cache_stats=cache.stats.as_dict(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reporting and gates
+# ----------------------------------------------------------------------
+def print_chains(fresh: ArmMeasurement, incremental: ArmMeasurement) -> None:
+    print("\n=== Enforcement chains: fresh re-solve vs incremental session ===")
+    for arm in (fresh, incremental):
+        print(
+            f"{arm.label:12s}: {arm.wall_seconds:6.3f}s wall, "
+            f"{arm.bitblast_seconds:6.3f}s bitblast/CDCL, "
+            f"{arm.conflicts} conflicts, "
+            f"{int(arm.telemetry['bitblast_calls'])} complete-backend calls"
+        )
+    print(f"statuses equal     : {fresh.statuses == incremental.statuses}")
+
+
+def print_screening(fresh: ArmMeasurement, incremental: ArmMeasurement) -> None:
+    print("\n=== Sibling-site screening: whole-query vs component cache ===")
+    for arm in (fresh, incremental):
+        print(
+            f"{arm.label:12s}: {arm.wall_seconds:6.3f}s wall, "
+            f"component hits {int(arm.cache_stats['component_hits'])} "
+            f"({arm.cache_stats['component_hit_rate']:.1%} of component lookups)"
+        )
+    print(f"statuses equal     : {fresh.statuses == incremental.statuses}")
+
+
+def artifact_payload(
+    parity: bool,
+    registry_fresh: dict,
+    registry_incremental: dict,
+    chain_fresh: ArmMeasurement,
+    chain_incremental: ArmMeasurement,
+    screen_fresh: ArmMeasurement,
+    screen_incremental: ArmMeasurement,
+) -> dict:
+    def arm(measurement: ArmMeasurement) -> dict:
+        return {
+            "wall_seconds": round(measurement.wall_seconds, 4),
+            "bitblast_seconds": round(measurement.bitblast_seconds, 4),
+            "cdcl_conflicts": measurement.conflicts,
+            "bitblast_calls": int(measurement.telemetry["bitblast_calls"]),
+            "component_hits": int(
+                measurement.cache_stats.get("component_hits", 0)
+            ),
+        }
+
+    return {
+        "benchmark": "solver",
+        "version": __version__,
+        "registry_parity": parity,
+        "registry": {
+            "fresh_wall_seconds": registry_fresh["wall_seconds"],
+            "incremental_wall_seconds": registry_incremental["wall_seconds"],
+        },
+        "enforcement_chains": {
+            "fresh": arm(chain_fresh),
+            "incremental": arm(chain_incremental),
+            "statuses_equal": chain_fresh.statuses == chain_incremental.statuses,
+        },
+        "screening": {
+            "fresh": arm(screen_fresh),
+            "incremental": arm(screen_incremental),
+            "statuses_equal": screen_fresh.statuses == screen_incremental.statuses,
+        },
+    }
+
+
+def _gate_failures(
+    parity: bool,
+    chain_fresh: ArmMeasurement,
+    chain_incremental: ArmMeasurement,
+    screen_fresh: ArmMeasurement,
+    screen_incremental: ArmMeasurement,
+) -> List[str]:
+    failures = []
+    if not parity:
+        failures.append(
+            "incremental registry classifications diverge from the fresh path"
+        )
+    if chain_fresh.statuses != chain_incremental.statuses:
+        failures.append("enforcement-chain statuses diverge between arms")
+    if screen_fresh.statuses != screen_incremental.statuses:
+        failures.append("screening statuses diverge between arms")
+    if chain_incremental.conflicts >= chain_fresh.conflicts:
+        failures.append(
+            f"incremental CDCL conflicts {chain_incremental.conflicts} not below "
+            f"fresh {chain_fresh.conflicts}"
+        )
+    if chain_incremental.bitblast_seconds >= chain_fresh.bitblast_seconds:
+        failures.append(
+            f"incremental bitblast/CDCL time {chain_incremental.bitblast_seconds:.3f}s "
+            f"not below fresh {chain_fresh.bitblast_seconds:.3f}s"
+        )
+    if screen_incremental.cache_stats.get("component_hits", 0) <= 0:
+        failures.append("screening produced no component-cache hits")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest twins
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="solver")
+def test_incremental_registry_parity(benchmark):
+    """Byte-identical site classifications, incremental vs fresh."""
+    fresh, incremental, parity = benchmark.pedantic(
+        run_registry_parity, rounds=1, iterations=1
+    )
+    assert parity
+
+
+@pytest.mark.benchmark(group="solver")
+def test_enforcement_chains_incremental_wins(benchmark):
+    """Sessions beat fresh re-solving on conflicts and bitblast time."""
+
+    def both():
+        return run_enforcement_chains(False), run_enforcement_chains(True)
+
+    fresh, incremental = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_chains(fresh, incremental)
+    assert fresh.statuses == incremental.statuses
+    assert incremental.conflicts < fresh.conflicts
+    assert incremental.bitblast_seconds < fresh.bitblast_seconds
+
+
+@pytest.mark.benchmark(group="solver")
+def test_screening_hits_the_component_cache(benchmark):
+    """Multi-site screening reuses component verdicts across queries."""
+
+    def both():
+        return run_screening(False), run_screening(True)
+
+    fresh, incremental = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_screening(fresh, incremental)
+    assert fresh.statuses == incremental.statuses
+    assert incremental.cache_stats["component_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Standalone entry point (the CI gate)
+# ----------------------------------------------------------------------
+def main() -> int:
+    registry_fresh, registry_incremental, parity = run_registry_parity()
+    print("=== Registry campaign: classification parity ===")
+    print(
+        f"fresh       : {registry_fresh['wall_seconds']:.3f}s, "
+        f"incremental : {registry_incremental['wall_seconds']:.3f}s, "
+        f"parity={'yes' if parity else 'NO'}"
+    )
+
+    chain_fresh = run_enforcement_chains(False)
+    chain_incremental = run_enforcement_chains(True)
+    print_chains(chain_fresh, chain_incremental)
+
+    screen_fresh = run_screening(False)
+    screen_incremental = run_screening(True)
+    print_screening(screen_fresh, screen_incremental)
+
+    path = write_artifact(
+        artifact_payload(
+            parity,
+            registry_fresh,
+            registry_incremental,
+            chain_fresh,
+            chain_incremental,
+            screen_fresh,
+            screen_incremental,
+        ),
+        name="BENCH_solver.json",
+    )
+    print(f"\nartifact written: {path}")
+
+    failures = _gate_failures(
+        parity, chain_fresh, chain_incremental, screen_fresh, screen_incremental
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

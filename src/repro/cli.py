@@ -151,6 +151,19 @@ def _cmd_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1, with a clear error."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1 (got {jobs}); use 1 for the serial schedule"
+        )
+    return jobs
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.no_cache and args.cache_dir:
         print(
@@ -167,6 +180,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         save_cache=not args.no_save_cache,
     )
+    if args.no_incremental:
+        config.diode.solver.enable_sessions = False
+        config.diode.solver.enable_decomposition = False
     result = CampaignEngine(config).run()
 
     if args.json:
@@ -174,6 +190,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "version": __version__,
             "backend": result.backend,
             "jobs": result.jobs,
+            "incremental": not args.no_incremental,
             "cache_enabled": result.cache_enabled,
             "unit_count": result.unit_count,
             "wall_seconds": round(result.wall_seconds, 3),
@@ -274,10 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
-        help="worker threads (default: one per CPU; 1 = serial fallback)",
+        help="worker threads, >= 1 (default: one per CPU; 1 = serial fallback)",
     )
     campaign.add_argument(
         "--backend",
@@ -293,6 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the shared solver-result cache and simplify memo",
+    )
+    campaign.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help=(
+            "disable incremental solver sessions and query decomposition "
+            "(the fresh-query reference path; classification parity with "
+            "the incremental default is enforced by the test and benchmark "
+            "gates)"
+        ),
     )
     campaign.add_argument(
         "--cache-dir",

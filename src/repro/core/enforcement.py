@@ -16,6 +16,16 @@ The algorithm, for one ⟨target expression, seed path⟩ observation:
 Enforcing only first-flipped branches is the paper's key idea: the candidate
 is forced through the sanity checks it actually failed while remaining free
 to take any path through the blocking checks.
+
+Solver interaction is *incremental* when the solver configuration enables
+sessions (the default): the loop opens one
+:class:`~repro.smt.solver.SolverSession` per observation, pushes the target
+constraint β once, then pushes one branch-constraint delta per iteration —
+instead of rebuilding (and re-simplifying, re-splitting, re-blasting) the
+whole conjunction list every time.  The session's persistent bit-blaster
+and assumption-based CDCL reuse the shared prefix's CNF and learned
+clauses across iterations; classification parity with the fresh-query
+path is the invariant either way.
 """
 
 from __future__ import annotations
@@ -148,8 +158,20 @@ class GoalDirectedEnforcer:
             target_constraint=beta,
         )
 
+        # One incremental session per observation: β is pushed once, each
+        # iteration pushes only its branch-constraint delta.
+        session = (
+            self.solver.open_session()
+            if self.solver.config.enable_sessions
+            else None
+        )
+
         # Step 1: solve the target constraint alone.
-        solver_result = self.solver.check([beta])
+        if session is not None:
+            session.push(beta)
+            solver_result = session.check()
+        else:
+            solver_result = self.solver.check([beta])
         if solver_result.is_unsat:
             result.outcome = EnforcementOutcome.TARGET_UNSATISFIABLE
             return self._finish(result, started)
@@ -198,8 +220,12 @@ class GoalDirectedEnforcer:
 
             enforced.append(flipped)
             result.enforced_branches = list(enforced)
-            constraints = [beta] + [b.condition for b in enforced]
-            solver_result = self.solver.check(constraints)
+            if session is not None:
+                session.push(flipped.condition)
+                solver_result = session.check()
+            else:
+                constraints = [beta] + [b.condition for b in enforced]
+                solver_result = self.solver.check(constraints)
             if solver_result.is_unsat:
                 result.outcome = EnforcementOutcome.CONSTRAINTS_UNSATISFIABLE
                 result.steps.append(

@@ -11,9 +11,10 @@ term would rebuild as a distinct, non-interned object and silently break
   at most once per ⟨worker, application⟩ pair;
 * **back**: :class:`SiteResultPayload` records (classification value, bug
   report, timing — all term-free) plus the worker cache's *new* entries in
-  the :mod:`repro.smt.cachestore` wire format, which the parent merges
-  into the campaign cache so a persistent store (or a later run) sees
-  every worker's verdicts.
+  the :mod:`repro.smt.cachestore` wire format — whole-query verdicts *and*
+  component-granularity verdicts, each tagged with its kind — which the
+  parent merges into the campaign cache so a persistent store (or a later
+  run) sees every worker's verdicts at both granularities.
 
 Workers are primed at pool start with the parent cache's current contents
 (the warm-start path when a ``--cache-dir`` store was loaded), and report
@@ -90,8 +91,10 @@ class _WorkerState:
         self.diode = diode
         self.cache = SolverCache() if use_cache else None
         self.contexts: Dict[int, "ApplicationContext"] = {}
+        #: ``(kind, key)`` pairs already shipped to the parent — whole-query
+        #: and component entries travel through the same delta stream.
         self.exported_keys: set = set()
-        self.stats_mark: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        self.stats_mark: Tuple[int, ...] = (0,) * 7
         if self.cache is not None:
             # The memo stays enabled for the worker's whole lifetime; the
             # process dies with the pool, so no disable pairing is needed.
@@ -130,7 +133,7 @@ def _worker_init(
 
 def _worker_run(
     unit: CampaignUnit,
-) -> Tuple[SiteResultPayload, List[dict], Tuple[int, int, int, int]]:
+) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...]]:
     """Analyze one unit in the worker; return payload + cache delta."""
     from repro.core.engine import analyze_site
 
@@ -148,7 +151,7 @@ def _worker_run(
     )
 
     delta: List[dict] = []
-    stats_delta: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    stats_delta: Tuple[int, ...] = (0,) * 7
     if state.cache is not None:
         from repro.smt.cachestore import export_wire_entries
 

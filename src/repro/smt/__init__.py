@@ -60,10 +60,17 @@ from repro.smt.builder import (
     implies,
 )
 from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
+from repro.smt.decompose import Component, compose_models, decompose
 from repro.smt.evalmodel import Model, evaluate
 from repro.smt.simplify import simplify
 from repro.smt.interval import Interval, interval_of, propagate_intervals
-from repro.smt.solver import PortfolioSolver, SolverResult, SolverStatus
+from repro.smt.solver import (
+    TELEMETRY,
+    PortfolioSolver,
+    SolverResult,
+    SolverSession,
+    SolverStatus,
+)
 from repro.smt.sampler import ModelSampler
 
 __all__ = [
@@ -115,9 +122,14 @@ __all__ = [
     "propagate_intervals",
     "PortfolioSolver",
     "SolverResult",
+    "SolverSession",
     "SolverStatus",
+    "TELEMETRY",
     "ModelSampler",
     "SolverCache",
     "SolverCacheStats",
     "simplify_memo",
+    "Component",
+    "compose_models",
+    "decompose",
 ]

@@ -43,10 +43,21 @@ class BitBlaster:
     # ------------------------------------------------------------------
     def assert_constraint(self, constraint: Term) -> None:
         """Assert a boolean term as true."""
+        self.cnf.add_unit(self.literal_for(constraint))
+
+    def literal_for(self, constraint: Term) -> int:
+        """Translate a boolean term *without* asserting it.
+
+        The returned literal is equivalent to the constraint under the
+        accumulated Tseitin definitions; a solver session asserts it per
+        call through CDCL assumptions instead of a permanent unit clause,
+        which is what makes push/pop over a persistent blaster possible.
+        Terms are hash-consed and the per-term literal is cached, so only
+        delta conjuncts cost any new CNF.
+        """
         if not constraint.is_bool:
             raise BitBlastError("can only assert boolean terms")
-        literal = self.blast_bool(constraint)
-        self.cnf.add_unit(literal)
+        return self.blast_bool(constraint)
 
     def variable_bits(self) -> Dict[str, List[int]]:
         """CNF literals allocated for each bitvector variable (LSB first)."""

@@ -25,6 +25,14 @@ the answer every caller receives is a pure function of the canonical system
 arrived first.  SAT models are translated back through the renaming and
 verified against the caller's actual conjuncts before being returned.
 
+Verdicts are stored at two granularities.  The *whole-query* table keys on
+the full canonical conjunct list; underneath it, the *component* table keys
+on the canonical form of one connected component of the variable-sharing
+graph (see :mod:`repro.smt.decompose`).  A component shared by two
+different whole queries — sibling sites, successive enforcement
+iterations, multi-site screening conjunctions — hits in the component
+table even though the whole-query keys differ.
+
 The module also owns the persistent simplification memo
 (:func:`enable_simplify_memo`): simplification is a pure function of an
 interned term, so memoizing it across the whole campaign removes the single
@@ -73,6 +81,9 @@ class CachedVerdict:
     status: str
     canonical_model: Optional[Model]
     reason: str
+    #: Portfolio stages the original derivation ran, so a cache hit can
+    #: report the verdict's full provenance instead of an empty stage list.
+    stages: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -80,7 +91,9 @@ class SolverCacheStats:
     """Hit/miss counters for one :class:`SolverCache`.
 
     ``hits``/``misses``/``stores``/``invalid_hits`` count this cache's own
-    lookups and stores; ``merged`` counts entries adopted wholesale from
+    whole-query lookups and stores; ``component_*`` count the
+    component-granularity layer underneath (consulted only after a
+    whole-query miss); ``merged`` counts entries adopted wholesale from
     elsewhere (a persistent on-disk store, a worker process's delta), and
     ``evictions`` counts entries dropped by the ``max_entries`` bound.
     """
@@ -91,15 +104,24 @@ class SolverCacheStats:
     invalid_hits: int = 0
     merged: int = 0
     evictions: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
+    component_stores: int = 0
+    component_evictions: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from the cache."""
+        """Fraction of whole-query lookups answered from the cache."""
         total = self.lookups
         return self.hits / total if total else 0.0
+
+    def component_hit_rate(self) -> float:
+        """Fraction of component lookups answered from the cache."""
+        total = self.component_hits + self.component_misses
+        return self.component_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -110,6 +132,11 @@ class SolverCacheStats:
             "merged": self.merged,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate(), 4),
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
+            "component_stores": self.component_stores,
+            "component_evictions": self.component_evictions,
+            "component_hit_rate": round(self.component_hit_rate(), 4),
         }
 
 
@@ -122,12 +149,24 @@ class SolverCache:
     coordination beyond the internal lock is needed.
     """
 
+    #: Entry kinds: whole-query verdicts and connected-component verdicts.
+    KIND_QUERY = "query"
+    KIND_COMPONENT = "component"
+
     def __init__(self, max_entries: Optional[int] = None) -> None:
         self._entries: Dict[Tuple, CachedVerdict] = {}
         # Canonical conjuncts per key, kept so entries can be exported —
         # to a persistent CacheStore or across a process boundary — and
         # rebuilt against a fresh intern table on the other side.
         self._conjuncts: Dict[Tuple, Tuple[Term, ...]] = {}
+        # The component-granularity layer: same key scheme, disjoint table.
+        # Component keys are always computed by *re*-canonicalizing the
+        # whole query's canonical conjuncts (first-application
+        # canonicalization is not a normal form — the commutative tiebreak
+        # compares the names the rename just changed), so every embedding
+        # of a component in any whole query lands on one shared key.
+        self._component_entries: Dict[Tuple, CachedVerdict] = {}
+        self._component_conjuncts: Dict[Tuple, Tuple[Term, ...]] = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.stats = SolverCacheStats()
@@ -141,6 +180,10 @@ class SolverCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def component_count(self) -> int:
+        """Number of component-granularity entries currently stored."""
+        return len(self._component_entries)
 
     # ------------------------------------------------------------------
     def canonicalize(
@@ -191,27 +234,66 @@ class SolverCache:
         one can only cost a future re-derivation, never correctness.
         """
         with self._lock:
-            if self._insert(system.key, system.conjuncts, verdict):
+            if self._insert(self._entries, self._conjuncts, system.key, system.conjuncts, verdict):
                 self.stats.stores += 1
 
+    def lookup_component(self, system: CanonicalSystem) -> Optional[CachedVerdict]:
+        """Return the stored verdict for one canonical component."""
+        with self._lock:
+            entry = self._component_entries.get(system.key)
+            if entry is None:
+                self.stats.component_misses += 1
+            else:
+                self.stats.component_hits += 1
+            return entry
+
+    def store_component(self, system: CanonicalSystem, verdict: CachedVerdict) -> None:
+        """Store the canonical verdict for one component (idempotent)."""
+        with self._lock:
+            if self._insert(
+                self._component_entries,
+                self._component_conjuncts,
+                system.key,
+                system.conjuncts,
+                verdict,
+            ):
+                self.stats.component_stores += 1
+
+    def _table_for(self, kind: str) -> Tuple[Dict, Dict]:
+        if kind == self.KIND_COMPONENT:
+            return self._component_entries, self._component_conjuncts
+        if kind == self.KIND_QUERY:
+            return self._entries, self._conjuncts
+        raise ValueError(f"unknown cache entry kind {kind!r}")
+
     def _insert(
-        self, key: Tuple, conjuncts: Tuple[Term, ...], verdict: CachedVerdict
+        self,
+        entries: Dict[Tuple, CachedVerdict],
+        conjunct_table: Dict[Tuple, Tuple[Term, ...]],
+        key: Tuple,
+        conjuncts: Tuple[Term, ...],
+        verdict: CachedVerdict,
     ) -> bool:
         """Insert under the held lock, evicting FIFO past ``max_entries``.
 
-        Returns whether the entry was stored — a non-positive
-        ``max_entries`` means "keep nothing", not "evict forever".
+        The bound applies to each table (whole-query / component)
+        independently.  Returns whether the entry was stored — a
+        non-positive ``max_entries`` means "keep nothing", not "evict
+        forever".
         """
-        if self.max_entries is not None and key not in self._entries:
+        if self.max_entries is not None and key not in entries:
             if self.max_entries <= 0:
                 return False
-            while len(self._entries) >= self.max_entries:
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
-                self._conjuncts.pop(oldest, None)
-                self.stats.evictions += 1
-        self._entries[key] = verdict
-        self._conjuncts[key] = tuple(conjuncts)
+            while len(entries) >= self.max_entries:
+                oldest = next(iter(entries))
+                del entries[oldest]
+                conjunct_table.pop(oldest, None)
+                if entries is self._entries:
+                    self.stats.evictions += 1
+                else:
+                    self.stats.component_evictions += 1
+        entries[key] = verdict
+        conjunct_table[key] = tuple(conjuncts)
         return True
 
     def note_invalid_hit(self) -> None:
@@ -224,25 +306,28 @@ class SolverCache:
         with self._lock:
             self._entries.clear()
             self._conjuncts.clear()
+            self._component_entries.clear()
+            self._component_conjuncts.clear()
             self._norm_memo.clear()
             self._key_memo.clear()
 
     # ------------------------------------------------------------------
     # Export / merge: the seam the persistent store and the process
     # backend share.  Entries travel as (fingerprint, canonical conjuncts,
-    # verdict) triples; the key is recomputed from the receiving side's
-    # intern table, so intern ids never leak across process or run
-    # boundaries.
+    # verdict) triples tagged with their kind; the key is recomputed from
+    # the receiving side's intern table, so intern ids never leak across
+    # process or run boundaries.
     # ------------------------------------------------------------------
     def entries_snapshot(
-        self, exclude_keys: Optional[set] = None
+        self, exclude_keys: Optional[set] = None, kind: str = KIND_QUERY
     ) -> List[Tuple[Tuple, Tuple[Term, ...], CachedVerdict]]:
         """Return ``(key, canonical conjuncts, verdict)`` for every entry."""
+        entries, conjunct_table = self._table_for(kind)
         with self._lock:
             return [
-                (key, self._conjuncts[key], verdict)
-                for key, verdict in self._entries.items()
-                if key in self._conjuncts
+                (key, conjunct_table[key], verdict)
+                for key, verdict in entries.items()
+                if key in conjunct_table
                 and (exclude_keys is None or key not in exclude_keys)
             ]
 
@@ -251,6 +336,7 @@ class SolverCache:
         fingerprint: Tuple,
         conjuncts: Sequence[Term],
         verdict: CachedVerdict,
+        kind: str = KIND_QUERY,
     ) -> Tuple:
         """Adopt one exported entry; returns its key in this cache.
 
@@ -260,19 +346,43 @@ class SolverCache:
         """
         conjuncts = tuple(conjuncts)
         key = (fingerprint, tuple(t._id for t in conjuncts))
+        entries, conjunct_table = self._table_for(kind)
         with self._lock:
-            if key not in self._entries and self._insert(key, conjuncts, verdict):
+            if key not in entries and self._insert(
+                entries, conjunct_table, key, conjuncts, verdict
+            ):
                 self.stats.merged += 1
         return key
 
-    def stats_snapshot(self) -> Tuple[int, int, int, int]:
-        """Atomic ``(hits, misses, stores, invalid_hits)`` reading."""
+    def stats_snapshot(self) -> Tuple[int, int, int, int, int, int, int]:
+        """Atomic reading of the transferable counters.
+
+        ``(hits, misses, stores, invalid_hits, component_hits,
+        component_misses, component_stores)`` — the tuple the process
+        backend ships from workers and folds back into the campaign cache
+        via :meth:`add_external_stats`.
+        """
         with self._lock:
             stats = self.stats
-            return (stats.hits, stats.misses, stats.stores, stats.invalid_hits)
+            return (
+                stats.hits,
+                stats.misses,
+                stats.stores,
+                stats.invalid_hits,
+                stats.component_hits,
+                stats.component_misses,
+                stats.component_stores,
+            )
 
     def add_external_stats(
-        self, hits: int, misses: int, stores: int, invalid_hits: int
+        self,
+        hits: int,
+        misses: int,
+        stores: int,
+        invalid_hits: int,
+        component_hits: int = 0,
+        component_misses: int = 0,
+        component_stores: int = 0,
     ) -> None:
         """Fold counter deltas from a worker-local cache into this one."""
         with self._lock:
@@ -280,6 +390,9 @@ class SolverCache:
             self.stats.misses += misses
             self.stats.stores += stores
             self.stats.invalid_hits += invalid_hits
+            self.stats.component_hits += component_hits
+            self.stats.component_misses += component_misses
+            self.stats.component_stores += component_stores
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +426,37 @@ _COMMUTATIVE = frozenset(
         TermKind.BXOR,
     }
 )
+
+#: Commutative operators that are also associative: whole same-kind chains
+#: can be flattened and rebuilt in one canonical shape.  (EQ/NE are
+#: commutative but not associative — their result sort differs from their
+#: operand sort — so they only get the pairwise operand sort.)
+_ASSOCIATIVE = frozenset(
+    {
+        TermKind.ADD,
+        TermKind.MUL,
+        TermKind.AND,
+        TermKind.OR,
+        TermKind.XOR,
+        TermKind.BAND,
+        TermKind.BOR,
+        TermKind.BXOR,
+    }
+)
+
+
+def _flatten_chain(term: Term) -> List[Term]:
+    """Collect the operand leaves of a same-kind associative chain."""
+    operands: List[Term] = []
+    stack: List[Term] = [term]
+    while stack:
+        node = stack.pop()
+        for arg in reversed(node.args):
+            if arg.kind is term.kind and arg.width == term.width:
+                stack.append(arg)
+            else:
+                operands.append(arg)
+    return operands
 
 
 def _structural_key(
@@ -349,12 +493,28 @@ def _structural_key(
 def _normalize(
     term: Term, memo: Dict[Term, Term], key_memo: Dict[Term, Tuple[str, str]]
 ) -> Term:
-    """Rebuild ``term`` with commutative operands in structural-key order."""
+    """Rebuild ``term`` in a canonical, history-independent shape.
+
+    Commutative operands are sorted by structural key, and whole
+    associative-commutative chains are flattened and re-folded
+    left-associatively over the sorted operand list — the simplifier
+    orders (and reassociates) such chains by intern id, i.e. by process
+    creation history, so two alpha-equivalent systems can arrive with
+    different tree *shapes*, not just different operand orders.
+    """
     cached = memo.get(term)
     if cached is not None:
         return cached
     if not term.args:
         result = term
+    elif term.kind in _ASSOCIATIVE:
+        operands = [
+            _normalize(operand, memo, key_memo) for operand in _flatten_chain(term)
+        ]
+        operands.sort(key=lambda t: _structural_key(t, key_memo))
+        result = operands[0]
+        for operand in operands[1:]:
+            result = Term.make(term.kind, (result, operand), width=term.width)
     else:
         args = tuple(_normalize(a, memo, key_memo) for a in term.args)
         if term.kind in _COMMUTATIVE and len(args) == 2:

@@ -41,12 +41,17 @@ from repro.smt.evalmodel import Model
 from repro.smt.terms import Term, TermKind
 
 #: Bump when the wire format changes; mismatched stores are discarded.
-FORMAT_VERSION = 1
+#: v2: entries carry a kind tag (whole-query vs connected-component) and
+#: the portfolio-stage provenance of the verdict.
+FORMAT_VERSION = 2
 
 #: Default number of shard files a store spreads its entries over.
 DEFAULT_SHARD_COUNT = 16
 
 _META_NAME = "meta.json"
+
+#: Verdicts with this status are budget artifacts, never persisted.
+_UNKNOWN_STATUS = "unknown"
 
 _KIND_BY_VALUE: Dict[str, TermKind] = {kind.value: kind for kind in TermKind}
 
@@ -114,9 +119,11 @@ def fingerprint_from_wire(obj) -> Tuple:
     )
 
 
-def entry_to_wire(conjuncts: Sequence[Term], verdict: CachedVerdict) -> dict:
+def entry_to_wire(
+    conjuncts: Sequence[Term], verdict: CachedVerdict, kind: str = SolverCache.KIND_QUERY
+) -> dict:
     """Serialize one (canonical conjuncts, verdict) pair."""
-    return {
+    wire = {
         "c": [term_to_wire(c) for c in conjuncts],
         "s": verdict.status,
         "m": (
@@ -125,7 +132,20 @@ def entry_to_wire(conjuncts: Sequence[Term], verdict: CachedVerdict) -> dict:
             else verdict.canonical_model.as_dict()
         ),
         "r": verdict.reason,
+        "t": list(verdict.stages),
     }
+    if kind == SolverCache.KIND_COMPONENT:
+        wire["k"] = "c"
+    return wire
+
+
+def entry_kind(obj: dict) -> str:
+    """The cache table a wire entry belongs to."""
+    return (
+        SolverCache.KIND_COMPONENT
+        if obj.get("k") == "c"
+        else SolverCache.KIND_QUERY
+    )
 
 
 def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
@@ -133,7 +153,10 @@ def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
     conjuncts = tuple(term_from_wire(c) for c in obj["c"])
     model = None if obj.get("m") is None else Model(obj["m"])
     return conjuncts, CachedVerdict(
-        status=str(obj["s"]), canonical_model=model, reason=str(obj.get("r", ""))
+        status=str(obj["s"]),
+        canonical_model=model,
+        reason=str(obj.get("r", "")),
+        stages=tuple(str(stage) for stage in obj.get("t", ())),
     )
 
 
@@ -143,23 +166,32 @@ def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
 def export_wire_entries(
     cache: SolverCache, exclude: Optional[set] = None
 ) -> Tuple[List[dict], List[Tuple]]:
-    """Serialize ``cache``'s entries (minus ``exclude`` keys).
+    """Serialize ``cache``'s entries (minus ``exclude`` tagged keys).
 
-    Returns ``(wire_entries, keys)`` in matching order, so callers can
-    record which keys have been shipped already.
+    Both tables travel: whole-query entries and component-granularity
+    entries (tagged ``"k": "c"``).  Returns ``(wire_entries, keys)`` in
+    matching order, where each key is a ``(kind, cache key)`` pair — the
+    same tagging ``exclude`` is matched against — so callers can record
+    which entries have been shipped already.
     """
     wire: List[dict] = []
     keys: List[Tuple] = []
-    for key, conjuncts, verdict in cache.entries_snapshot(exclude_keys=exclude):
-        item = entry_to_wire(conjuncts, verdict)
-        item["f"] = fingerprint_to_wire(key[0])
-        wire.append(item)
-        keys.append(key)
+    for kind in (SolverCache.KIND_QUERY, SolverCache.KIND_COMPONENT):
+        excluded = (
+            {key for tag, key in exclude if tag == kind} if exclude else None
+        )
+        for key, conjuncts, verdict in cache.entries_snapshot(
+            exclude_keys=excluded, kind=kind
+        ):
+            item = entry_to_wire(conjuncts, verdict, kind=kind)
+            item["f"] = fingerprint_to_wire(key[0])
+            wire.append(item)
+            keys.append((kind, key))
     return wire, keys
 
 
 def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tuple]:
-    """Adopt exported entries into ``cache``; returns the merged keys.
+    """Adopt exported entries into ``cache``; returns the merged tagged keys.
 
     Malformed entries are skipped — a bad delta or file costs coverage,
     never correctness.
@@ -168,10 +200,13 @@ def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tup
     for item in wire_entries:
         try:
             fingerprint = fingerprint_from_wire(item["f"])
+            kind = entry_kind(item)
             conjuncts, verdict = entry_from_wire(item)
         except _WIRE_ERRORS:
             continue
-        merged.append(cache.merge_canonical(fingerprint, conjuncts, verdict))
+        merged.append(
+            (kind, cache.merge_canonical(fingerprint, conjuncts, verdict, kind=kind))
+        )
     return merged
 
 
@@ -234,10 +269,11 @@ class CacheStore:
                 continue
             for item in entries:
                 try:
+                    kind = entry_kind(item)
                     conjuncts, verdict = entry_from_wire(item)
                 except _WIRE_ERRORS:
                     continue
-                cache.merge_canonical(fingerprint, conjuncts, verdict)
+                cache.merge_canonical(fingerprint, conjuncts, verdict, kind=kind)
                 merged += 1
         return merged
 
@@ -245,20 +281,28 @@ class CacheStore:
     def save(self, cache: SolverCache, fingerprint: Tuple) -> int:
         """Write ``cache``'s entries for ``fingerprint``; returns the count.
 
+        Both whole-query and component entries are written.  UNKNOWN
+        verdicts are *not*: an UNKNOWN only records that this run's budget
+        was exhausted, and persisting it would pin the failure across runs
+        whose budgets (or solver improvements) could decide the query.
+
         The whole store is rewritten (entry counts are small — thousands,
         not millions) with per-file atomic replaces, so a reader racing a
         writer sees complete files.
         """
         shards: Dict[int, List[dict]] = {}
         saved = 0
-        for key, conjuncts, verdict in cache.entries_snapshot():
-            if key[0] != fingerprint:
-                continue
-            wire = entry_to_wire(conjuncts, verdict)
-            shards.setdefault(self._shard_of(wire["c"], self.shard_count), []).append(
-                wire
-            )
-            saved += 1
+        for kind in (SolverCache.KIND_QUERY, SolverCache.KIND_COMPONENT):
+            for key, conjuncts, verdict in cache.entries_snapshot(kind=kind):
+                if key[0] != fingerprint:
+                    continue
+                if verdict.status == _UNKNOWN_STATUS:
+                    continue
+                wire = entry_to_wire(conjuncts, verdict, kind=kind)
+                shards.setdefault(
+                    self._shard_of(wire["c"], self.shard_count), []
+                ).append(wire)
+                saved += 1
 
         os.makedirs(self.cache_dir, exist_ok=True)
         for index in range(self.shard_count):

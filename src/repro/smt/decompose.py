@@ -1,0 +1,105 @@
+"""Connected-component decomposition of constraint conjunctions.
+
+Two conjuncts of a query interact only if they share a variable, so a
+conjunction splits into the connected components of its variable-sharing
+graph: within a component every conjunct is (transitively) linked to every
+other through shared variables; across components the variable sets are
+disjoint.  Each component can therefore be decided independently —
+
+* the conjunction is UNSAT iff *some* component is UNSAT,
+* a model of the conjunction is exactly a union of per-component models
+  (the variable sets are disjoint, so the union is well defined and every
+  conjunct sees precisely the assignment its own component produced).
+
+The solving stack uses this in two ways: the portfolio solves components
+separately (smaller bit-blasts, tighter interval boxes), and the solver
+cache stores verdicts at component granularity, so a component shared by
+two *different* whole queries — sibling target sites, successive
+enforcement iterations, multi-site screening conjunctions — is decided
+once.
+
+Decomposition is deterministic: components are ordered by the position of
+their first conjunct in the input, and conjuncts keep their original
+relative order inside each component, so the decomposed solve is a pure
+function of the conjunct list like everything else in the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.smt.evalmodel import Model
+from repro.smt.terms import Term
+
+
+@dataclass(frozen=True)
+class Component:
+    """One connected component of a conjunction's variable-sharing graph."""
+
+    #: The component's conjuncts, in their original relative order.
+    conjuncts: Tuple[Term, ...]
+    #: Names of every variable (bitvector or boolean) the component touches,
+    #: sorted.  Empty for a variable-free conjunct.
+    variables: Tuple[str, ...]
+
+
+def decompose(conjuncts: Sequence[Term]) -> List[Component]:
+    """Split ``conjuncts`` into independent connected components.
+
+    Conjuncts are joined through shared variable *names* (union-find over
+    the variable-sharing graph); a variable-free conjunct shares nothing and
+    forms a singleton component of its own.
+    """
+    conjuncts = list(conjuncts)
+    parent = list(range(len(conjuncts)))
+
+    def find(index: int) -> int:
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:  # path compression
+            parent[index], index = root, parent[index]
+        return root
+
+    def union(left: int, right: int) -> None:
+        left, right = find(left), find(right)
+        if left != right:
+            parent[max(left, right)] = min(left, right)
+
+    names_of: List[Tuple[str, ...]] = []
+    owner: Dict[str, int] = {}
+    for index, conjunct in enumerate(conjuncts):
+        names = tuple(sorted(str(v.name) for v in conjunct.variables()))
+        names_of.append(names)
+        for name in names:
+            first = owner.setdefault(name, index)
+            if first != index:
+                union(first, index)
+
+    groups: Dict[int, List[int]] = {}
+    for index in range(len(conjuncts)):
+        groups.setdefault(find(index), []).append(index)
+
+    components: List[Component] = []
+    for _root, members in sorted(groups.items(), key=lambda item: item[1][0]):
+        variables = sorted({name for index in members for name in names_of[index]})
+        components.append(
+            Component(
+                conjuncts=tuple(conjuncts[index] for index in members),
+                variables=tuple(variables),
+            )
+        )
+    return components
+
+
+def compose_models(models: Iterable[Model]) -> Model:
+    """Union per-component models into one whole-query model.
+
+    Components have pairwise-disjoint variable sets, so the union never
+    overwrites an assignment.
+    """
+    composed = Model()
+    for model in models:
+        composed.update(model.as_dict())
+    return composed

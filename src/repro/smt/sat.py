@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""An incremental CDCL SAT solver.
 
 This is the complete decision procedure backing the portfolio solver: when
 the cheap layers (simplification, interval propagation, sampling) cannot
@@ -8,13 +8,35 @@ handed to this solver.
 The implementation follows the standard conflict-driven clause learning
 recipe: two-watched-literal propagation, first-UIP conflict analysis, VSIDS
 branching with phase saving, Luby restarts and learned-clause deletion.
+
+The solver is *incremental* in the MiniSat sense:
+
+* it stays attached to the :class:`~repro.smt.cnf.CNF` it was built from
+  and picks up clauses appended since the previous call at the start of
+  every :meth:`CDCLSolver.solve` (growing the variable arrays as needed),
+  so a persistent bit-blaster can keep translating delta conjuncts into the
+  same formula;
+* :meth:`solve` takes *assumption* literals that hold for one call only —
+  they are enqueued as pseudo-decisions below the real decision levels, so
+  an enforcement session can flip or append branch constraints between
+  calls without rebuilding the solver;
+* learned clauses, variable activity and saved phases persist across calls.
+  First-UIP learned clauses resolve only real clauses from the database
+  (assumption literals are decisions and are never resolved away), so every
+  retained clause is implied by the formula itself and stays sound for
+  later calls with different assumptions.
+
+The per-call conflict budget (``max_conflicts``) bounds the conflicts of
+each :meth:`solve` call separately, matching the per-query budget of the
+non-incremental path; the counters reported on a :class:`SatResult` are
+likewise per-call deltas.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.cnf import CNF
 
@@ -29,7 +51,7 @@ class SatStatus:
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT query."""
+    """Outcome of one SAT query (statistics are per-call deltas)."""
 
     status: str
     assignment: Optional[Dict[int, bool]] = None
@@ -65,7 +87,12 @@ class _Clause:
 
 
 class CDCLSolver:
-    """Conflict-driven clause learning SAT solver over a :class:`CNF`."""
+    """Conflict-driven clause learning SAT solver over a :class:`CNF`.
+
+    The solver keeps a reference to ``cnf`` and loads newly appended
+    clauses on every :meth:`solve` call, so one instance can serve a
+    growing formula (the persistent bit-blaster of a solver session).
+    """
 
     def __init__(
         self,
@@ -74,17 +101,17 @@ class CDCLSolver:
         var_decay: float = 0.95,
         clause_decay: float = 0.999,
     ) -> None:
-        self.num_vars = cnf.num_vars
+        self.num_vars = 0
         self.max_conflicts = max_conflicts
         self.var_decay = var_decay
         self.clause_decay = clause_decay
 
         # Assignment state: index by variable (1-based).
-        self.assigns: List[Optional[bool]] = [None] * (self.num_vars + 1)
-        self.level: List[int] = [0] * (self.num_vars + 1)
-        self.reason: List[Optional[_Clause]] = [None] * (self.num_vars + 1)
-        self.saved_phase: List[bool] = [False] * (self.num_vars + 1)
-        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.assigns: List[Optional[bool]] = [None]
+        self.level: List[int] = [0]
+        self.reason: List[Optional[_Clause]] = [None]
+        self.saved_phase: List[bool] = [False]
+        self.activity: List[float] = [0.0]
         self.var_inc = 1.0
         self.clause_inc = 1.0
 
@@ -101,9 +128,41 @@ class CDCLSolver:
         self.propagations = 0
         self.restarts = 0
 
-        self._contradiction = cnf.has_contradiction
-        for clause in cnf.clauses:
-            if not self._add_clause(list(clause), learned=False):
+        self._cnf = cnf
+        self._loaded_clauses = 0
+        self._contradiction = False
+        self._sync_with_cnf()
+
+    # ------------------------------------------------------------------
+    # Incremental clause loading
+    # ------------------------------------------------------------------
+    def _grow_to(self, num_vars: int) -> None:
+        if num_vars <= self.num_vars:
+            return
+        extra = num_vars - self.num_vars
+        self.assigns.extend([None] * extra)
+        self.level.extend([0] * extra)
+        self.reason.extend([None] * extra)
+        self.saved_phase.extend([False] * extra)
+        self.activity.extend([0.0] * extra)
+        self.num_vars = num_vars
+
+    def _sync_with_cnf(self) -> None:
+        """Load clauses appended to the attached CNF since the last call.
+
+        Must run at decision level 0: new clauses are simplified against the
+        root-level assignment (satisfied clauses dropped, permanently false
+        literals removed), which keeps the two-watched-literal invariant
+        intact for assignments whose propagation events have already been
+        consumed.
+        """
+        if self._cnf.has_contradiction:
+            self._contradiction = True
+        self._grow_to(self._cnf.num_vars)
+        while self._loaded_clauses < len(self._cnf.clauses):
+            clause = self._cnf.clauses[self._loaded_clauses]
+            self._loaded_clauses += 1
+            if not self._add_clause(list(clause)):
                 self._contradiction = True
                 break
 
@@ -113,27 +172,34 @@ class CDCLSolver:
     def _watch(self, literal: int, clause: _Clause) -> None:
         self.watches.setdefault(literal, []).append(clause)
 
-    def _add_clause(self, literals: List[int], learned: bool) -> bool:
-        """Add a clause; returns ``False`` if it makes the formula unsat."""
+    def _add_clause(self, literals: List[int]) -> bool:
+        """Add an original clause at level 0; ``False`` on a contradiction.
+
+        (Learned clauses take the separate :meth:`_learn` path, which
+        asserts at the backjump level instead of simplifying at the root.)
+        """
         literals = list(dict.fromkeys(literals))
         if any(-lit in literals for lit in literals):
             return True
-        if not literals:
-            return False
-        if len(literals) == 1:
-            value = self._value(literals[0])
-            if value is False:
-                return False
+        # Root-level simplification: a literal true at level 0 satisfies the
+        # clause forever; one false at level 0 can never help it.
+        kept: List[int] = []
+        for lit in literals:
+            value = self._value(lit)
             if value is None:
-                self._assign(literals[0], None)
+                kept.append(lit)
+            elif value is True:
+                return True
+            # value is False at level 0: drop the literal.
+        if not kept:
+            return False
+        if len(kept) == 1:
+            self._assign(kept[0], None)
             return True
-        clause = _Clause(literals, learned=learned)
-        if learned:
-            self.learned.append(clause)
-        else:
-            self.clauses.append(clause)
-        self._watch(literals[0], clause)
-        self._watch(literals[1], clause)
+        clause = _Clause(kept)
+        self.clauses.append(clause)
+        self._watch(kept[0], clause)
+        self._watch(kept[1], clause)
         return True
 
     # ------------------------------------------------------------------
@@ -319,37 +385,45 @@ class CDCLSolver:
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         """Solve the formula under optional assumption literals.
 
-        Assumptions are applied as root-level unit clauses; this solver is
-        not incremental, so that is equivalent to (and simpler than) the
-        assumption-literal mechanism of incremental solvers.
+        Assumptions hold for this call only: they are enqueued as
+        pseudo-decisions below the real decision levels, so neither they nor
+        anything propagated from them survives into the next call.  An
+        assumption literal that is (or becomes) false at a lower level makes
+        the call return UNSAT without poisoning the clause database.
         """
+        self._backtrack(0)
+        self._sync_with_cnf()
+        marks = (self.conflicts, self.decisions, self.propagations, self.restarts)
         if self._contradiction:
-            return SatResult(SatStatus.UNSAT)
-        for literal in assumptions:
-            if not self._add_clause([literal], learned=False):
-                return SatResult(SatStatus.UNSAT)
+            return self._result(SatStatus.UNSAT, marks=marks)
 
         conflict = self._propagate()
         if conflict is not None:
-            return SatResult(SatStatus.UNSAT)
+            self._contradiction = True
+            return self._result(SatStatus.UNSAT, marks=marks)
 
+        assumptions = [int(lit) for lit in assumptions]
         restart_threshold = 100
         luby = _luby_sequence()
-        next_restart = restart_threshold * next(luby)
+        next_restart = self.conflicts + restart_threshold * next(luby)
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
                 if self._decision_level() == 0:
-                    return self._result(SatStatus.UNSAT)
+                    self._contradiction = True
+                    return self._result(SatStatus.UNSAT, marks=marks)
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
                 self._learn(learned)
                 self._decay_var_activity()
                 self._decay_clause_activity()
-                if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
-                    return self._result(SatStatus.UNKNOWN)
+                if (
+                    self.max_conflicts is not None
+                    and self.conflicts - marks[0] >= self.max_conflicts
+                ):
+                    return self._result(SatStatus.UNKNOWN, marks=marks)
                 if self.conflicts >= next_restart:
                     self.restarts += 1
                     next_restart = self.conflicts + restart_threshold * next(luby)
@@ -357,12 +431,27 @@ class CDCLSolver:
                     self._reduce_learned()
                 continue
 
+            if self._decision_level() < len(assumptions):
+                # Establish the next assumption as a pseudo-decision.  A
+                # level is opened even when the literal already holds, so
+                # the level index always tells how many assumptions are in
+                # force (and backjumps re-establish the rest on the way
+                # back down).
+                literal = assumptions[self._decision_level()]
+                value = self._value(literal)
+                if value is False:
+                    return self._result(SatStatus.UNSAT, marks=marks)
+                self.trail_lim.append(len(self.trail))
+                if value is None:
+                    self._assign(literal, None)
+                continue
+
             variable = self._pick_branch_variable()
             if variable is None:
                 assignment = {
                     var: bool(self.assigns[var]) for var in range(1, self.num_vars + 1)
                 }
-                return self._result(SatStatus.SAT, assignment)
+                return self._result(SatStatus.SAT, assignment, marks=marks)
             self.decisions += 1
             self.trail_lim.append(len(self.trail))
             phase = self.saved_phase[variable]
@@ -384,14 +473,19 @@ class CDCLSolver:
         self._watch(literals[1], clause)
         self._assign(literals[0], clause)
 
-    def _result(self, status: str, assignment: Optional[Dict[int, bool]] = None) -> SatResult:
+    def _result(
+        self,
+        status: str,
+        assignment: Optional[Dict[int, bool]] = None,
+        marks: Tuple[int, int, int, int] = (0, 0, 0, 0),
+    ) -> SatResult:
         return SatResult(
             status=status,
             assignment=assignment,
-            conflicts=self.conflicts,
-            decisions=self.decisions,
-            propagations=self.propagations,
-            restarts=self.restarts,
+            conflicts=self.conflicts - marks[0],
+            decisions=self.decisions - marks[1],
+            propagations=self.propagations - marks[2],
+            restarts=self.restarts - marks[3],
         )
 
 

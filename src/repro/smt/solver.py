@@ -18,22 +18,41 @@ The portfolio runs, in order:
 Layers 3 and 4 can only return SAT (with a checked model); layer 2 can only
 return UNSAT; layer 5 is complete but is budgeted by a conflict limit so the
 front end degrades to UNKNOWN rather than hanging on adversarial queries.
+
+Two orthogonal mechanisms exploit the structure *within and across*
+queries:
+
+* **Decomposition** (``enable_decomposition``): the conjunction is split
+  into independent connected components over the variable-sharing graph
+  (:mod:`repro.smt.decompose`); each component is decided separately —
+  against a component-granularity cache when one is attached — and
+  per-component models compose into the whole-query model (UNSAT in any
+  component is UNSAT overall).
+* **Sessions** (:class:`SolverSession`, via :meth:`PortfolioSolver.open_session`):
+  a push/pop constraint stack for callers that issue long chains of
+  near-identical queries (the enforcement loop).  A session keeps one
+  persistent :class:`~repro.smt.bitblast.BitBlaster` and one incremental
+  :class:`~repro.smt.sat.CDCLSolver`, so only delta conjuncts are blasted
+  and learned clauses carry over between checks; per-check conjuncts are
+  asserted through CDCL assumptions, never permanent units.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.smt import builder as b
 from repro.smt.bitblast import BitBlaster, BitBlastError
 from repro.smt.cache import CachedVerdict, SolverCache
-from repro.smt.evalmodel import Model, satisfies
+from repro.smt.decompose import compose_models, decompose
+from repro.smt.evalmodel import EvaluationError, Model, satisfies
 from repro.smt.heuristics import try_algebraic_solution
 from repro.smt.interval import Interval, propagate_intervals
 from repro.smt.sampler import ModelSampler, SamplerConfig, split_conjuncts
-from repro.smt.sat import CDCLSolver, SatStatus
+from repro.smt.sat import CDCLSolver, SatResult, SatStatus
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term, TermKind
 
@@ -79,6 +98,12 @@ class SolverConfig:
     bitblast_max_width: int = 64
     heuristic_max_checks: int = 768
     seed: Optional[int] = 0
+    #: Decide independent connected components separately (and cache them
+    #: at component granularity when a cache is attached).
+    enable_decomposition: bool = True
+    #: Let callers that hold a :class:`SolverSession` drive the incremental
+    #: push/pop path (the enforcement loop checks this knob).
+    enable_sessions: bool = True
 
     def fingerprint(self) -> Tuple:
         """The knobs a cached verdict depends on.
@@ -86,8 +111,11 @@ class SolverConfig:
         Part of every solver-cache key, and the validity stamp of a
         persistent :class:`~repro.smt.cachestore.CacheStore` — results
         computed under different budgets must never be conflated, within a
-        run or across runs.  Primitives only, so it survives a JSON round
-        trip unchanged.
+        run or across runs.  The incremental knobs are included because
+        they steer *which* model a heuristic layer lands on (never the
+        status), and cached models must stay deterministic per
+        configuration.  Primitives only, so it survives a JSON round trip
+        unchanged.
         """
         sampler = self.sampler
         return (
@@ -101,7 +129,106 @@ class SolverConfig:
             sampler.seed,
             sampler.boundary_bias,
             sampler.perturbation_attempts,
+            self.enable_decomposition,
+            self.enable_sessions,
         )
+
+
+class SolverTelemetry:
+    """Process-wide counters for the complete backend (bench / CI probes).
+
+    The campaign engine builds one short-lived :class:`PortfolioSolver` per
+    site, so per-instance counters cannot describe a whole run; these
+    aggregate across every solver and session in the process.  All methods
+    are thread-safe; counters are monotonic between :meth:`reset` calls.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.queries = 0
+            self.session_checks = 0
+            self.bitblast_calls = 0
+            self.bitblast_seconds = 0.0
+            self.cdcl_conflicts = 0
+            self.cdcl_decisions = 0
+            self.cdcl_propagations = 0
+
+    def record_query(self, session: bool) -> None:
+        with self._lock:
+            self.queries += 1
+            if session:
+                self.session_checks += 1
+
+    def record_bitblast(self, elapsed: float, result: Optional[SatResult]) -> None:
+        with self._lock:
+            self.bitblast_calls += 1
+            self.bitblast_seconds += elapsed
+            if result is not None:
+                self.cdcl_conflicts += result.conflicts
+                self.cdcl_decisions += result.decisions
+                self.cdcl_propagations += result.propagations
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "session_checks": self.session_checks,
+                "bitblast_calls": self.bitblast_calls,
+                "bitblast_seconds": round(self.bitblast_seconds, 6),
+                "cdcl_conflicts": self.cdcl_conflicts,
+                "cdcl_decisions": self.cdcl_decisions,
+                "cdcl_propagations": self.cdcl_propagations,
+            }
+
+
+#: The process-wide telemetry instance (see :class:`SolverTelemetry`).
+TELEMETRY = SolverTelemetry()
+
+#: Signature of the complete-backend hook: conjuncts -> (status, model).
+BitblastFn = Callable[[Sequence[Term]], Tuple[str, Optional[Model]]]
+
+
+class _TrackedBackend:
+    """Record whether a complete-backend hook produced a *tainted* verdict.
+
+    Stored cache verdicts must be a pure function of the canonical system —
+    that is what makes cached answers schedule- and run-independent.  A
+    verdict derived through a *session's* incremental CDCL is not: the
+    solver retains learned clauses, activities and phases from earlier
+    checks, so the result depends on the session's private (but per-caller
+    deterministic) history.  The store sites wrap the hook and skip caching
+    any verdict whose derivation flowed through tainted state; verdicts
+    decided by the pure layers, answered from the cache, or re-derived by
+    the session's *fresh-solve fallbacks* (width clash, resource limits,
+    budget exhaustion) are pure and remain storable.
+
+    Taint is reported per call by the wrapped hook through its
+    ``last_call_tainted`` attribute (unknown callables are conservatively
+    treated as tainted) and propagates through nested wrappers, so a
+    component-level tainted call also marks the enclosing whole-query
+    wrapper.
+    """
+
+    __slots__ = ("fn", "used", "last_call_tainted")
+
+    def __init__(self, fn: BitblastFn) -> None:
+        self.fn = fn
+        self.used = False
+        self.last_call_tainted = False
+
+    def __call__(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        result = self.fn(conjuncts)
+        self.last_call_tainted = getattr(self.fn, "last_call_tainted", True)
+        self.used = self.used or self.last_call_tainted
+        return result
+
+    @classmethod
+    def wrap(cls, fn: Optional[BitblastFn]) -> Optional["_TrackedBackend"]:
+        return None if fn is None else cls(fn)
 
 
 class PortfolioSolver:
@@ -110,7 +237,8 @@ class PortfolioSolver:
     When a :class:`~repro.smt.cache.SolverCache` is supplied, queries are
     canonicalized (alpha-renamed over the hash-consed DAG) and the portfolio
     decides the canonical representative, so alpha-equivalent queries from
-    sibling sites and repeated enforcement iterations share one verdict.
+    sibling sites and repeated enforcement iterations share one verdict —
+    at whole-query granularity first, then per connected component.
     """
 
     def __init__(
@@ -130,6 +258,7 @@ class PortfolioSolver:
         """Decide the conjunction of ``constraints``."""
         started = time.perf_counter()
         self.query_count += 1
+        TELEMETRY.record_query(session=False)
         constraint_list = [simplify(c) for c in constraints]
         stages: List[str] = []
 
@@ -145,10 +274,77 @@ class PortfolioSolver:
 
         if self.cache is not None:
             return self._check_cached(conjuncts, started, stages)
-        return self._finish(self._run_portfolio(conjuncts, stages), started, stages)
+        return self._finish(
+            self._solve_conjuncts(conjuncts, stages), started, stages
+        )
 
+    def open_session(self) -> "SolverSession":
+        """Create an incremental push/pop session backed by this solver."""
+        return SolverSession(self)
+
+    def _check_session(self, session: "SolverSession") -> SolverResult:
+        """Decide a session's conjunction (see :meth:`SolverSession.check`)."""
+        started = time.perf_counter()
+        self.query_count += 1
+        TELEMETRY.record_query(session=True)
+        stages: List[str] = ["simplify"]
+        conjuncts = list(session.conjuncts)
+
+        decided = self._decide_by_simplification(conjuncts)
+        if decided is not None:
+            return self._finish(decided, started, stages)
+        if self.cache is not None:
+            return self._check_cached(
+                conjuncts, started, stages, bitblast_fn=session
+            )
+        return self._finish(
+            self._solve_conjuncts(conjuncts, stages, session),
+            started,
+            stages,
+        )
+
+    def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
+        """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""
+        result = self.check(constraints)
+        return result.model if result.is_sat else None
+
+    def sample_models(
+        self,
+        constraints: Iterable[Term],
+        count: int,
+        seed: Optional[int] = None,
+    ) -> List[Model]:
+        """Sample up to ``count`` models of the conjunction (with replacement)."""
+        constraint_list = [simplify(c) for c in constraints]
+        conjuncts: List[Term] = []
+        for constraint in constraint_list:
+            conjuncts.extend(split_conjuncts(constraint))
+        variables = self._collect_variables(conjuncts)
+        whole = b.band(*conjuncts) if conjuncts else b.TRUE
+        config = SamplerConfig(
+            random_attempts_per_sample=self.config.sampler.random_attempts_per_sample,
+            hill_climb_steps=self.config.sampler.hill_climb_steps,
+            seed=seed if seed is not None else self.config.sampler.seed,
+            boundary_bias=self.config.sampler.boundary_bias,
+            perturbation_attempts=self.config.sampler.perturbation_attempts,
+        )
+        sampler = ModelSampler(
+            whole,
+            variables,
+            config=config,
+            fallback_solve=lambda c: self.solve_for_model([c]),
+        )
+        return sampler.sample(count)
+
+    # ------------------------------------------------------------------
+    # Cached path
+    # ------------------------------------------------------------------
     def _check_cached(
-        self, conjuncts: List[Term], started: float, stages: List[str]
+        self,
+        conjuncts: List[Term],
+        started: float,
+        stages: List[str],
+        bitblast_fn: Optional[BitblastFn] = None,
     ) -> SolverResult:
         """Answer the query through the shared cache.
 
@@ -158,46 +354,177 @@ class PortfolioSolver:
         which alpha-variant of the system was solved first.
         """
         stages.append("cache")
+        result = self._solve_through_cache(
+            conjuncts,
+            stages,
+            bitblast_fn,
+            lookup=self.cache.lookup,
+            store=self.cache.store,
+            reason="cache",
+            solve=self._solve_conjuncts,
+        )
+        return self._finish(result, started, stages)
+
+    def _solve_through_cache(
+        self,
+        conjuncts: List[Term],
+        stages: List[str],
+        bitblast_fn: Optional[BitblastFn],
+        *,
+        lookup,
+        store,
+        reason: str,
+        solve,
+    ) -> SolverResult:
+        """The cache protocol shared by both granularities.
+
+        Canonicalize, look up (verifying any translated SAT model against
+        the actual conjuncts — a failure is treated as a miss and
+        re-derived), solve the canonical representative on a miss, store
+        the verdict unless the (history-dependent) session backend was
+        actually invoked, and translate the answer back.  ``lookup`` /
+        ``store`` select the whole-query or component table; ``solve``
+        decides the canonical conjuncts (the decomposing pipeline for
+        whole queries, the monolithic portfolio for one component).
+        """
         system = self.cache.canonicalize(conjuncts, self._config_fingerprint())
-        cached = self.cache.lookup(system)
+        cached = lookup(system)
         if cached is not None:
             if cached.status != SolverStatus.SAT:
-                return self._finish(
-                    SolverResult(cached.status, reason="cache"), started, stages
-                )
+                stages.extend(cached.stages)
+                return SolverResult(cached.status, reason=reason)
             model = system.translate_model(cached.canonical_model)
             if all(satisfies(c, model) for c in conjuncts):
-                return self._finish(
-                    SolverResult(SolverStatus.SAT, model=model, reason="cache"),
-                    started,
-                    stages,
+                stages.extend(cached.stages)
+                return SolverResult(
+                    SolverStatus.SAT, model=model, reason=reason
                 )
             # A stored model that does not survive translation means the
             # canonicalization missed a distinction; fall through and
             # re-derive (and overwrite) the entry.
             self.cache.note_invalid_hit()
 
-        canonical_result = self._run_portfolio(list(system.conjuncts), stages)
-        self.cache.store(
-            system,
-            CachedVerdict(
-                status=canonical_result.status,
-                canonical_model=canonical_result.model,
-                reason=canonical_result.reason,
-            ),
-        )
+        mark = len(stages)
+        tracked = _TrackedBackend.wrap(bitblast_fn)
+        canonical_result = solve(list(system.conjuncts), stages, tracked)
+        if tracked is None or not tracked.used:
+            store(
+                system,
+                CachedVerdict(
+                    status=canonical_result.status,
+                    canonical_model=canonical_result.model,
+                    reason=canonical_result.reason,
+                    stages=tuple(stages[mark:]),
+                ),
+            )
         result = SolverResult(
             canonical_result.status, reason=canonical_result.reason
         )
         if canonical_result.is_sat:
             result.model = system.translate_model(canonical_result.model)
-        return self._finish(result, started, stages)
+        return result
 
     def _config_fingerprint(self) -> Tuple:
         """The configuration knobs a cached verdict depends on."""
         return self.config.fingerprint()
 
-    def _run_portfolio(self, conjuncts: List[Term], stages: List[str]) -> SolverResult:
+    # ------------------------------------------------------------------
+    # Decomposed solving
+    # ------------------------------------------------------------------
+    def _solve_conjuncts(
+        self,
+        conjuncts: List[Term],
+        stages: List[str],
+        bitblast_fn: Optional[BitblastFn] = None,
+    ) -> SolverResult:
+        """Decide a simplified, split conjunction, decomposing if enabled.
+
+        A single-component conjunction (the common case for enforcement
+        queries, whose branch constraints all share variables with the
+        target constraint) takes exactly the monolithic pipeline; a
+        multi-component one is decided component-by-component and the
+        models composed.  UNSAT in any component is UNSAT overall; an
+        undecided component degrades the whole query to UNKNOWN unless
+        some other component proves UNSAT.
+        """
+        if not self.config.enable_decomposition:
+            return self._run_portfolio(conjuncts, stages, bitblast_fn)
+        components = decompose(conjuncts)
+        if len(components) <= 1:
+            return self._solve_component(conjuncts, stages, bitblast_fn)
+
+        stages.append("decompose")
+        models: List[Model] = []
+        unknown: Optional[SolverResult] = None
+        for component in components:
+            component_stages: List[str] = []
+            result = self._solve_component(
+                list(component.conjuncts), component_stages, bitblast_fn
+            )
+            for stage in component_stages:
+                if stage not in stages:
+                    stages.append(stage)
+            if result.is_unsat:
+                return SolverResult(SolverStatus.UNSAT, reason=result.reason)
+            if not result.is_sat:
+                # Keep scanning: an UNSAT in a later component still decides
+                # the whole query even when this one timed out.
+                unknown = unknown or result
+                continue
+            models.append(result.model)
+        if unknown is not None:
+            return SolverResult(SolverStatus.UNKNOWN, reason=unknown.reason)
+
+        composed = compose_models(models)
+        try:
+            if all(satisfies(c, composed) for c in conjuncts):
+                return SolverResult(
+                    SolverStatus.SAT, model=composed, reason="decompose"
+                )
+        except EvaluationError:
+            pass
+        # Composition can only fail if a component model was partial in a
+        # way the component verification missed; fall back to the
+        # monolithic pipeline rather than guessing.
+        return self._run_portfolio(conjuncts, stages, bitblast_fn)
+
+    def _solve_component(
+        self,
+        conjuncts: List[Term],
+        stages: List[str],
+        bitblast_fn: Optional[BitblastFn] = None,
+    ) -> SolverResult:
+        """Decide one connected component, through the component cache.
+
+        The conjuncts are re-canonicalized even when they arrive already in
+        whole-canonical form: first-application canonicalization is *not* a
+        normal form (the commutative-operand tiebreak compares variable
+        names, which the rename just changed), and the component key
+        convention is the re-canonicalized one — the same convention every
+        embedding of this component in any whole query computes, which is
+        what makes cross-query component sharing line up.
+        """
+        if self.cache is None:
+            return self._run_portfolio(conjuncts, stages, bitblast_fn)
+        return self._solve_through_cache(
+            conjuncts,
+            stages,
+            bitblast_fn,
+            lookup=self.cache.lookup_component,
+            store=self.cache.store_component,
+            reason="component-cache",
+            solve=self._run_portfolio,
+        )
+
+    # ------------------------------------------------------------------
+    # The layered portfolio
+    # ------------------------------------------------------------------
+    def _run_portfolio(
+        self,
+        conjuncts: List[Term],
+        stages: List[str],
+        bitblast_fn: Optional[BitblastFn] = None,
+    ) -> SolverResult:
         """Layers 2-5 over an already simplified, split conjunction."""
         variables = self._collect_variables(conjuncts)
         widths = {str(v.name): v.width for v in variables}
@@ -240,7 +567,7 @@ class PortfolioSolver:
         # Layer 5: complete bit-blasting backend.
         if self.config.enable_bitblast and self._blastable(conjuncts):
             stages.append("bitblast")
-            status, model = self._bitblast(conjuncts)
+            status, model = (bitblast_fn or self._bitblast)(conjuncts)
             if status == SatStatus.SAT and model is not None:
                 restricted = model.restricted_to(widths)
                 return SolverResult(
@@ -250,39 +577,6 @@ class PortfolioSolver:
                 return SolverResult(SolverStatus.UNSAT, reason="bitblast")
 
         return SolverResult(SolverStatus.UNKNOWN, reason="portfolio exhausted")
-
-    def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
-        """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""
-        result = self.check(constraints)
-        return result.model if result.is_sat else None
-
-    def sample_models(
-        self,
-        constraints: Iterable[Term],
-        count: int,
-        seed: Optional[int] = None,
-    ) -> List[Model]:
-        """Sample up to ``count`` models of the conjunction (with replacement)."""
-        constraint_list = [simplify(c) for c in constraints]
-        conjuncts: List[Term] = []
-        for constraint in constraint_list:
-            conjuncts.extend(split_conjuncts(constraint))
-        variables = self._collect_variables(conjuncts)
-        whole = b.band(*conjuncts) if conjuncts else b.TRUE
-        config = SamplerConfig(
-            random_attempts_per_sample=self.config.sampler.random_attempts_per_sample,
-            hill_climb_steps=self.config.sampler.hill_climb_steps,
-            seed=seed if seed is not None else self.config.sampler.seed,
-            boundary_bias=self.config.sampler.boundary_bias,
-            perturbation_attempts=self.config.sampler.perturbation_attempts,
-        )
-        sampler = ModelSampler(
-            whole,
-            variables,
-            config=config,
-            fallback_solve=lambda c: self.solve_for_model([c]),
-        )
-        return sampler.sample(count)
 
     # ------------------------------------------------------------------
     # Internals
@@ -355,6 +649,7 @@ class PortfolioSolver:
         return wide_multiplications <= 2
 
     def _bitblast(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        started = time.perf_counter()
         try:
             blaster = BitBlaster()
             for conjunct in conjuncts:
@@ -364,7 +659,162 @@ class PortfolioSolver:
             )
             result = solver.solve()
         except (BitBlastError, RecursionError, MemoryError):
+            TELEMETRY.record_bitblast(time.perf_counter() - started, None)
             return SatStatus.UNKNOWN, None
+        TELEMETRY.record_bitblast(time.perf_counter() - started, result)
         if result.status == SatStatus.SAT:
             return SatStatus.SAT, blaster.extract_model(result)
         return result.status, None
+
+
+class SolverSession:
+    """An incremental solving session over one :class:`PortfolioSolver`.
+
+    The session holds a stack of conjuncts manipulated with :meth:`push` /
+    :meth:`pop` and decided with :meth:`check`; the enforcement loop pushes
+    the target constraint once and then one branch-constraint delta per
+    iteration instead of rebuilding (and re-simplifying, re-splitting,
+    re-blasting) the whole conjunction list every time.
+
+    The cheap portfolio layers and both cache granularities behave exactly
+    as in :meth:`PortfolioSolver.check`; what is incremental is the
+    complete backend: one persistent :class:`BitBlaster` translates only
+    the conjuncts it has not seen before (terms are hash-consed, and
+    canonicalized prefixes are stable across growing queries), and one
+    persistent :class:`CDCLSolver` keeps its learned clauses, variable
+    activity and saved phases across checks, asserting the current
+    conjuncts through per-call assumptions.  Classification parity with
+    the fresh-query path is the invariant: the incremental backend may
+    find a different *model* but must not change the *status*.  SAT and
+    UNSAT are semantic, so they can never flip; the one principled gap is
+    the conflict-budget boundary, where inherited search state could make
+    a timeout land differently — a session CDCL timeout therefore retries
+    the pure one-shot backend (never less complete than fresh), and the
+    registry-wide parity gates in the tests and ``bench_solver.py`` check
+    the equality empirically.
+
+    Sessions are not thread-safe; each worker drives its own.
+    """
+
+    def __init__(self, solver: PortfolioSolver) -> None:
+        self.solver = solver
+        self.check_count = 0
+        #: Whether the most recent complete-backend call's verdict depended
+        #: on session state (see :class:`_TrackedBackend`): ``True`` when
+        #: the incremental CDCL decided it, ``False`` when a cheap layer
+        #: or one of the fresh-solve fallbacks did.
+        self.last_call_tainted = False
+        self._conjuncts: List[Term] = []
+        self._frames: List[int] = []
+        self._blaster: Optional[BitBlaster] = None
+        self._cdcl: Optional[CDCLSolver] = None
+        #: name -> width of every bitvector variable the persistent blaster
+        #: has seen.  The blaster keys variable bit-vectors by *name*, but
+        #: component-canonical names restart at ``v000`` per component, so
+        #: two components can reuse one name at different widths; such a
+        #: clash must not reach (and corrupt) the shared blaster.
+        self._var_widths: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of pushed (still-active) frames."""
+        return len(self._frames)
+
+    @property
+    def conjuncts(self) -> Tuple[Term, ...]:
+        """The currently asserted conjuncts (simplified and split)."""
+        return tuple(self._conjuncts)
+
+    def push(self, *constraints: Term) -> None:
+        """Open a frame asserting ``constraints`` on top of the stack."""
+        self._frames.append(len(self._conjuncts))
+        for constraint in constraints:
+            self._conjuncts.extend(split_conjuncts(simplify(constraint)))
+
+    def pop(self) -> None:
+        """Drop the most recent frame and its conjuncts.
+
+        The persistent bit-blaster keeps the popped conjuncts' Tseitin
+        definitions (they are unasserted and satisfiable, so retained
+        learned clauses stay sound); re-pushing the same constraint later
+        costs no new CNF.
+        """
+        if not self._frames:
+            raise IndexError("pop from an empty solver session")
+        del self._conjuncts[self._frames.pop():]
+
+    def check(self) -> SolverResult:
+        """Decide the conjunction of every pushed constraint."""
+        self.check_count += 1
+        return self.solver._check_session(self)
+
+    # ------------------------------------------------------------------
+    def __call__(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        """The session *is* its complete-backend hook (see ``_bitblast``)."""
+        return self._bitblast(conjuncts)
+
+    def _bitblast(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        """Complete-backend hook: delta-blast + assumption-based CDCL.
+
+        When a conjunct reuses a variable *name* the persistent blaster has
+        already allocated at a different width (component-canonical names
+        restart at ``v000`` per component), the call falls back to a fresh
+        one-shot blast: the per-name bit-vectors of the shared blaster
+        cannot represent both widths, and a collision would wrongly degrade
+        a decidable query to UNKNOWN.
+        """
+        self.last_call_tainted = False
+        if self._width_clash(conjuncts):
+            return self.solver._bitblast(conjuncts)
+        started = time.perf_counter()
+        config = self.solver.config
+        try:
+            if self._blaster is None:
+                self._blaster = BitBlaster()
+            assumptions = [self._blaster.literal_for(c) for c in conjuncts]
+            if self._cdcl is None:
+                self._cdcl = CDCLSolver(
+                    self._blaster.cnf, max_conflicts=config.bitblast_max_conflicts
+                )
+            result = self._cdcl.solve(assumptions=assumptions)
+        except (BitBlastError, RecursionError, MemoryError):
+            # The session's accumulated CNF blew a resource limit the
+            # current (smaller) conjunction alone would not; same policy
+            # as the budget case below — retry fresh.
+            TELEMETRY.record_bitblast(time.perf_counter() - started, None)
+            return self.solver._bitblast(conjuncts)
+        TELEMETRY.record_bitblast(time.perf_counter() - started, result)
+        if result.status == SatStatus.UNKNOWN:
+            # The per-call conflict budget ran out under the session's
+            # inherited search state (learned clauses, activities, phases).
+            # Retry once with the pure one-shot backend: a session must
+            # never be *less* complete than the fresh-query path.
+            return self.solver._bitblast(conjuncts)
+        self.last_call_tainted = True
+        if result.status == SatStatus.SAT:
+            return SatStatus.SAT, self._blaster.extract_model(result)
+        return result.status, None
+
+    def _width_clash(self, conjuncts: Sequence[Term]) -> bool:
+        """Whether ``conjuncts`` reuse a seen variable name at a new width.
+
+        On no clash, the conjuncts' variables are recorded as seen.  The
+        name keeps its first-seen width for the session's lifetime: the
+        blaster's per-name bit-vectors can hold only one width, so later
+        queries using the other width take the fresh one-shot backend —
+        first width wins the incremental machinery, correctness never
+        depends on which.
+        """
+        variables = [
+            variable
+            for conjunct in conjuncts
+            for variable in conjunct.variables()
+            if variable.is_bv
+        ]
+        for variable in variables:
+            known = self._var_widths.get(str(variable.name))
+            if known is not None and known != variable.width:
+                return True
+        for variable in variables:
+            self._var_widths[str(variable.name)] = variable.width
+        return False

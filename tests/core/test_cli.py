@@ -99,6 +99,38 @@ class TestCampaignCommand:
         with pytest.raises(SystemExit):
             main(["campaign", "--jobs", "many"])
 
+    @pytest.mark.parametrize("jobs", ["0", "-3"])
+    def test_campaign_rejects_non_positive_jobs(self, capsys, jobs):
+        """``--jobs`` below 1 fails parsing with a clear message instead of
+        silently reaching the backend."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--jobs", jobs, "--apps", "vlc"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_campaign_no_incremental_flag_keeps_classifications(self, capsys):
+        """The fresh-query ablation path reports identical classifications."""
+        assert main(["campaign", "--jobs", "1", "--apps", "vlc", "--json"]) == 0
+        incremental = json.loads(capsys.readouterr().out)
+        assert incremental["incremental"] is True
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--jobs",
+                    "1",
+                    "--apps",
+                    "vlc",
+                    "--no-incremental",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        fresh = json.loads(capsys.readouterr().out)
+        assert fresh["incremental"] is False
+        assert fresh["classifications"] == incremental["classifications"]
+
     def test_campaign_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(["campaign", "--backend", "gpu"])

@@ -220,3 +220,47 @@ class TestDiodeEngine:
         result = Diode().analyze(mini_app)
         report = next(r for r in result.bug_reports() if r.target == "open.c@2")
         assert report.cve == "CVE-0000-0001"
+
+
+class TestIncrementalSessions:
+    """Session-driven enforcement (the default) against the fresh-query
+    reference path: identical outcomes, enforced branches and steps."""
+
+    def _run_both(self, app, tag):
+        from repro.smt.solver import SolverConfig
+
+        fresh_config = SolverConfig(
+            enable_sessions=False, enable_decomposition=False
+        )
+        incremental = _run_site(app, tag)
+        sites = identify_target_sites(app.program, app.seed_input)
+        site = next(s for s in sites if s.site_tag == tag)
+        mapper = FieldMapper(app.format_spec)
+        observation = extract_target_observations(
+            app.program, app.seed_input, site, field_mapper=mapper
+        )[0]
+        enforcer = GoalDirectedEnforcer(
+            PortfolioSolver(fresh_config),
+            InputGenerator(app.seed_input, app.format_spec),
+            ErrorDetector(app.program, app.seed_input),
+        )
+        return incremental, enforcer.run(observation)
+
+    @pytest.mark.parametrize(
+        "tag", ["open.c@2", "guarded.c@1", "capped.c@3", "narrow.c@4"]
+    )
+    def test_session_path_matches_fresh_path(self, mini_app, tag):
+        incremental, fresh = self._run_both(mini_app, tag)
+        assert incremental.outcome is fresh.outcome
+        assert incremental.enforced_count == fresh.enforced_count
+        assert len(incremental.steps) == len(fresh.steps)
+        assert [s.solver_status for s in incremental.steps] == [
+            s.solver_status for s in fresh.steps
+        ]
+
+    def test_default_config_enables_sessions(self):
+        from repro.smt.solver import SolverConfig
+
+        config = SolverConfig()
+        assert config.enable_sessions
+        assert config.enable_decomposition

@@ -146,18 +146,24 @@ _SYSTEMS = [
 ]
 
 
+def _total_entries(cache):
+    """Entries across both granularities (whole-query + component)."""
+    return len(cache) + cache.component_count()
+
+
 class TestCacheStoreRoundTrip:
     def test_save_then_load_restores_every_entry(self, tmp_path):
         fingerprint = SolverConfig().fingerprint()
         cache, _ = _warmed_cache(_SYSTEMS)
         store = CacheStore(str(tmp_path))
         saved = store.save(cache, fingerprint)
-        assert saved == len(cache) > 0
+        assert saved == _total_entries(cache) > 0
 
         fresh = SolverCache()
         loaded = store.load(fresh, fingerprint)
         assert loaded == saved
         assert len(fresh) == len(cache)
+        assert fresh.component_count() == cache.component_count()
         assert fresh.stats.merged == loaded
 
     def test_warm_started_cache_answers_from_cache(self, tmp_path):
@@ -184,7 +190,7 @@ class TestCacheStoreRoundTrip:
             CachedVerdict(status="sat", canonical_model=Model({"v000": 0}), reason=""),
         )
         saved = CacheStore(str(tmp_path)).save(cache, fingerprint)
-        assert saved == len(cache) - 1
+        assert saved == _total_entries(cache) - 1
 
 
 class TestStoreInvalidation:
@@ -241,28 +247,30 @@ class TestWireEntryExchange:
         fingerprint = SolverConfig().fingerprint()
         source, _ = _warmed_cache(_SYSTEMS)
         wire, keys = export_wire_entries(source)
-        assert len(wire) == len(keys) == len(source)
+        assert len(wire) == len(keys) == _total_entries(source)
 
         target = SolverCache()
         merged = merge_wire_entries(target, wire)
         assert sorted(map(str, merged)) == sorted(map(str, keys))
         assert len(target) == len(source)
+        assert target.component_count() == source.component_count()
 
     def test_exclude_skips_already_shipped_keys(self):
         source, _ = _warmed_cache(_SYSTEMS)
         _, keys = export_wire_entries(source)
         shipped = set(keys[:1])
         wire, rest = export_wire_entries(source, exclude=shipped)
-        assert len(wire) == len(source) - 1
+        assert len(wire) == _total_entries(source) - 1
         assert not shipped.intersection(rest)
 
     def test_malformed_wire_entries_are_skipped(self):
         target = SolverCache()
         good_source, _ = _warmed_cache(_SYSTEMS[:1])
         wire, _ = export_wire_entries(good_source)
+        good = len(wire)
         wire.append({"f": [], "c": "garbage", "s": "sat"})
         merged = merge_wire_entries(target, wire)
-        assert len(merged) == 1
+        assert len(merged) == good
 
 
 class TestCampaignWarmStart:
