@@ -7,6 +7,9 @@ on — a bitvector SMT solver (:mod:`repro.smt`), a core imperative language
 and its concrete/concolic/taint interpreters (:mod:`repro.lang`,
 :mod:`repro.exec`), an input-format library (:mod:`repro.formats`) — and
 models of the paper's five benchmark applications (:mod:`repro.apps`).
+Discovered overflows flow through the witness-triage subsystem
+(:mod:`repro.triage`): deduplication by canonical signature, input
+minimization, a persistent cross-run corpus, and regression replay.
 
 Quickstart::
 
@@ -22,7 +25,7 @@ Quickstart::
 #: Single source of truth for the package version: the CLI's ``--version``,
 #: the campaign's ``--json`` output and the benchmark artifacts all read it
 #: from here.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.engine import Diode, DiodeConfig
 from repro.apps.registry import all_applications, application_names, get_application

@@ -1,16 +1,19 @@
 """Command-line interface for the DIODE reproduction.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro.cli analyze dillo            # full pipeline, Table-1 style row
     python -m repro.cli table1                   # all five applications, serially
     python -m repro.cli site dillo png.c@203     # one site, with enforcement steps
     python -m repro.cli campaign --jobs 4        # whole registry, campaign engine
     python -m repro.cli campaign --backend process --jobs 4 --cache-dir .diode-cache
+    python -m repro.cli campaign --corpus-dir .diode-corpus --skip-known
+    python -m repro.cli replay --corpus-dir .diode-corpus  # regression replay
 
-The CLI is a thin layer over :class:`repro.core.engine.Diode` and
-:class:`repro.core.campaign.CampaignEngine`; it exists so the reproduction
-can be driven without writing Python.
+The CLI is a thin layer over :class:`repro.core.engine.Diode`,
+:class:`repro.core.campaign.CampaignEngine` and the witness-triage
+subsystem (:mod:`repro.triage`); it exists so the reproduction can be
+driven without writing Python.
 """
 
 from __future__ import annotations
@@ -172,6 +175,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.skip_known and not args.corpus_dir:
+        print(
+            "--skip-known replays witnesses from a persistent corpus; "
+            "give it one with --corpus-dir",
+            file=sys.stderr,
+        )
+        return 2
     config = CampaignConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -179,6 +189,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         backend=args.backend,
         cache_dir=args.cache_dir,
         save_cache=not args.no_save_cache,
+        corpus_dir=args.corpus_dir,
+        save_corpus=not args.no_save_corpus,
+        minimize_witnesses=not args.no_minimize,
+        skip_known=args.skip_known,
     )
     if args.no_incremental:
         config.diode.solver.enable_sessions = False
@@ -204,6 +218,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "saved": result.cache_saved,
                 }
                 if args.cache_dir
+                else None
+            ),
+            "triage": (
+                result.triage_stats.as_dict() if result.triage_stats else None
+            ),
+            "corpus": (
+                {
+                    "dir": args.corpus_dir,
+                    "loaded": result.corpus_loaded,
+                    # null = not written back (--no-save-corpus), as opposed
+                    # to an actually-empty corpus.
+                    "saved": (
+                        None if args.no_save_corpus else result.corpus_saved
+                    ),
+                    "skipped_known": result.skipped_known,
+                }
+                if args.corpus_dir
                 else None
             ),
             "table1": {
@@ -258,7 +289,86 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"cache store {args.cache_dir}: warm-started {result.cache_loaded} "
             f"entries, saved {result.cache_saved}"
         )
+    if result.triage_stats is not None:
+        stats = result.triage_stats
+        print(
+            f"witness triage: {stats.distinct} distinct / {stats.raw_reports} "
+            f"reports ({stats.dedup_ratio():.2f}x dedup), "
+            f"{stats.minimized} minimized "
+            f"({stats.shrink_ratio():.0%} of triggering fields dropped)"
+        )
+    if args.corpus_dir:
+        line = (
+            f"witness corpus {args.corpus_dir}: warm-started "
+            f"{result.corpus_loaded} witnesses, "
+        )
+        if args.no_save_corpus:
+            line += "not saved back (--no-save-corpus)"
+        else:
+            line += f"now holds {result.corpus_saved}"
+        if args.skip_known:
+            line += f"; {result.skipped_known} site(s) answered by replay"
+        print(line)
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.apps.registry import build_applications
+    from repro.triage.corpus import CorpusStore
+    from repro.triage.engine import replay_corpus
+
+    store = CorpusStore(args.corpus_dir)
+    records = store.load()
+    if not records:
+        print(
+            f"no witness corpus under {args.corpus_dir!r} (missing, empty, or "
+            "written by an incompatible version)",
+            file=sys.stderr,
+        )
+        return 2
+
+    applications = build_applications(args.apps or None)
+    report = replay_corpus(records, applications, mark_missing=args.apps is None)
+    if not args.no_save:
+        store.save(records, merge=False)
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "corpus_dir": args.corpus_dir,
+            "records": len(records),
+            "replayed": len(report.entries),
+            "wall_seconds": round(report.wall_seconds, 3),
+            "counts": report.counts(),
+            "entries": [
+                {
+                    "signature": entry.signature,
+                    "application": entry.application,
+                    "site": entry.site_name,
+                    "status": entry.status,
+                    "requested_size": entry.requested_size,
+                    "error_type": entry.error_type,
+                }
+                for entry in report.entries
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{'Signature':26s} {'Application':20s} {'Site':28s} Status")
+        for entry in report.entries:
+            print(
+                f"{entry.signature:26s} {entry.application:20s} "
+                f"{entry.site_name:28s} {entry.status}"
+            )
+        counts = report.counts()
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(counts.items())
+        )
+        print(
+            f"\n{len(report.entries)} witness(es) replayed in "
+            f"{report.wall_seconds:.2f}s: {summary}"
+        )
+    return 1 if args.strict and report.regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -336,6 +446,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --cache-dir: load the store but do not write it back",
     )
     campaign.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent witness corpus: load known overflows from DIR before "
+            "the run and merge this run's deduplicated, minimized witnesses "
+            "back after (created on first use)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-save-corpus",
+        action="store_true",
+        help="with --corpus-dir: load the corpus but do not write it back",
+    )
+    campaign.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="store witnesses as discovered instead of ddmin-minimizing them",
+    )
+    campaign.add_argument(
+        "--skip-known",
+        action="store_true",
+        help=(
+            "replay a fresh corpus witness per site (one concrete run) "
+            "instead of re-deriving it through enforcement; requires "
+            "--corpus-dir, and falls back to full analysis for witnesses "
+            "that no longer replay"
+        ),
+    )
+    campaign.add_argument(
         "--apps",
         nargs="+",
         choices=application_names(),
@@ -344,6 +484,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--json", action="store_true", help="emit JSON")
     campaign.set_defaults(func=_cmd_campaign)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help=(
+            "re-validate every witness in a persistent corpus against the "
+            "current application registry"
+        ),
+    )
+    replay.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        required=True,
+        help="the witness corpus to replay",
+    )
+    replay.add_argument(
+        "--apps",
+        nargs="+",
+        choices=application_names(),
+        metavar="APP",
+        help="replay only witnesses for these applications",
+    )
+    replay.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not write replay statuses back to the corpus",
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any witness no longer triggers (for CI gates)",
+    )
+    replay.add_argument("--json", action="store_true", help="emit JSON")
+    replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -22,6 +22,18 @@ against the store format version and the solver-configuration
 fingerprint) and saved back afterwards, so a second campaign answers most
 of its queries from the first one's verdicts.
 
+Discovered overflows flow through the witness-triage subsystem
+(:mod:`repro.triage`): every bug report is re-validated by a concrete
+overflow-witness run, minimized (ddmin over the triggering field values),
+and collapsed onto its canonical signature, so the campaign reports
+*distinct verified* witnesses — the paper's Table-2 notion — instead of
+per-run rediscoveries.  With a ``corpus_dir`` the deduplicated witnesses
+persist across runs (merge-on-save, so parallel campaigns converge), and
+``skip_known`` lets a warm campaign replay a stored witness per site —
+one cheap concrete run — instead of re-deriving it through the
+enforcement loop; a witness that no longer replays falls back to full
+analysis, which keeps the skip parity-safe.
+
 Structure of a run:
 
 1. build the application models (registry order) and, per application, the
@@ -48,11 +60,16 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.registry import application_names, build_applications
 from repro.core.engine import DiodeConfig
-from repro.core.report import ApplicationResult, OverflowBugReport, SiteResult
+from repro.core.report import (
+    ApplicationResult,
+    OverflowBugReport,
+    SiteClassification,
+    SiteResult,
+)
 from repro.sched import (
     ApplicationContext,
     CampaignUnit,
@@ -63,6 +80,13 @@ from repro.sched import (
 )
 from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
 from repro.smt.cachestore import CacheStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at call time: repro.triage imports repro.core
+    # submodules, so a module-scope import here would be circular.
+    from repro.sched.base import Slot
+    from repro.triage.corpus import WitnessRecord
+    from repro.triage.engine import TriageStats
 
 __all__ = [
     "CampaignConfig",
@@ -94,6 +118,21 @@ class CampaignConfig:
     #: Write the (possibly warm-started) cache back to ``cache_dir`` after
     #: the run.  Ignored without a ``cache_dir``.
     save_cache: bool = True
+    #: Run the witness-triage pass (:mod:`repro.triage`): re-validate,
+    #: minimize and deduplicate every discovered overflow.  Required for a
+    #: ``corpus_dir``.
+    triage: bool = True
+    #: Directory of the persistent witness corpus; ``None`` keeps triage
+    #: in-memory for this run only.
+    corpus_dir: Optional[str] = None
+    #: Merge this run's witnesses back into ``corpus_dir`` after the run.
+    save_corpus: bool = True
+    #: Minimize witnesses (ddmin + shrink-toward-baseline) before signing.
+    minimize_witnesses: bool = True
+    #: Replay a fresh corpus witness per site instead of re-deriving it
+    #: through enforcement; sites whose witness no longer replays fall back
+    #: to full analysis.  Requires ``corpus_dir``.
+    skip_known: bool = False
 
     def resolved_jobs(self) -> int:
         if self.jobs is None:
@@ -135,6 +174,17 @@ class CampaignResult:
     cache_loaded: int = 0
     #: Entries written back to the persistent store (0 when not saving).
     cache_saved: int = 0
+    #: Aggregate witness-triage outcome (``None`` when triage is disabled).
+    triage_stats: Optional["TriageStats"] = None
+    #: This run's deduplicated witnesses, in registry order.
+    witness_records: List["WitnessRecord"] = field(default_factory=list)
+    #: Witnesses warm-started from the persistent corpus (0 on a cold run).
+    corpus_loaded: int = 0
+    #: Total witnesses in the corpus after the post-run merge (0 when not
+    #: persisting).
+    corpus_saved: int = 0
+    #: Sites answered by replaying a corpus witness instead of enforcement.
+    skipped_known: int = 0
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> List[Dict[str, int]]:
@@ -186,6 +236,10 @@ class CampaignEngine:
     def run(self) -> CampaignResult:
         """Run the campaign and return the aggregate report."""
         started = time.perf_counter()
+        if self.config.skip_known and not self.config.corpus_dir:
+            raise ValueError("CampaignConfig.skip_known requires a corpus_dir")
+        if self.config.corpus_dir and not self.config.triage:
+            raise ValueError("CampaignConfig.corpus_dir requires triage")
         jobs = self.config.resolved_jobs()
         backend_name = self.config.resolved_backend()
         cache = SolverCache() if self.config.use_cache else None
@@ -197,8 +251,20 @@ class CampaignEngine:
             store = CacheStore(self.config.cache_dir)
             loaded = store.load(cache, fingerprint)
 
+        corpus_store = None
+        corpus_records: Dict[str, "WitnessRecord"] = {}
+        if self.config.triage and self.config.corpus_dir:
+            from repro.triage.corpus import CorpusStore
+
+            corpus_store = CorpusStore(self.config.corpus_dir)
+            corpus_records = corpus_store.load()
+
         with simplify_memo(enabled=self.config.use_cache):
             contexts = self._build_contexts()
+            skipped: Dict["Slot", SiteResult] = {}
+            adopted: Dict["Slot", "WitnessRecord"] = {}
+            if self.config.skip_known and corpus_records:
+                skipped, adopted = self._skip_known_sites(contexts, corpus_records)
             units = [
                 CampaignUnit(
                     app_index=context.index,
@@ -208,6 +274,7 @@ class CampaignEngine:
                 )
                 for context in contexts
                 for site_index, site in enumerate(context.sites)
+                if (context.index, site_index) not in skipped
             ]
             request = UnitRunRequest(
                 contexts=contexts,
@@ -216,11 +283,24 @@ class CampaignEngine:
                 jobs=jobs,
                 diode=self.config.diode,
                 application_names=self.config.registry_names(),
+                triage=self.config.triage,
+                minimize_witnesses=self.config.minimize_witnesses,
             )
             site_results = get_backend(backend_name).run_units(request)
+            site_results.update(skipped)
 
         if store is not None and self.config.save_cache:
             saved = store.save(cache, fingerprint)
+
+        triage_stats: Optional["TriageStats"] = None
+        run_records: Dict[str, "WitnessRecord"] = {}
+        corpus_saved = 0
+        if self.config.triage:
+            triage_stats, run_records = self._triage_results(
+                contexts, site_results, request, adopted
+            )
+            if corpus_store is not None and self.config.save_corpus:
+                corpus_saved = corpus_store.save(run_records)
 
         application_results = []
         for context in contexts:
@@ -245,6 +325,11 @@ class CampaignEngine:
             backend=backend_name,
             cache_loaded=loaded,
             cache_saved=saved,
+            triage_stats=triage_stats,
+            witness_records=list(run_records.values()),
+            corpus_loaded=len(corpus_records),
+            corpus_saved=corpus_saved,
+            skipped_known=len(skipped),
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +340,152 @@ class CampaignEngine:
                 build_applications(self.config.applications)
             )
         ]
+
+    # ------------------------------------------------------------------
+    def _skip_known_sites(
+        self,
+        contexts: List[ApplicationContext],
+        corpus_records: Dict[str, "WitnessRecord"],
+    ) -> Tuple[Dict["Slot", SiteResult], Dict["Slot", "WitnessRecord"]]:
+        """Answer sites from the corpus where a stored witness still replays.
+
+        A skipped site costs one concrete witness run instead of the full
+        extraction + enforcement unit.  Replay failure (stale witness,
+        unrebuildable fields) silently falls back to scheduling the site
+        normally, so ``skip_known`` can only ever change *when* a site's
+        classification is derived, not what it is — the parity property
+        ``bench_triage.py`` gates.
+
+        Also returns the matched record per skipped slot, so the triage
+        pass adopts the already-minimized witness instead of re-minimizing
+        it from scratch (which would spend the very concrete runs the skip
+        saved).
+        """
+        from dataclasses import replace
+
+        from repro.core.inputs import InputGenerator
+        from repro.formats.spec import FormatError
+        from repro.triage.corpus import STATUS_FRESH
+        from repro.triage.engine import rebuild_witness_input
+
+        skipped: Dict["Slot", SiteResult] = {}
+        adopted: Dict["Slot", "WitnessRecord"] = {}
+        for context in contexts:
+            application = context.application
+            candidates = [
+                record
+                for record in corpus_records.values()
+                if record.application == application.name
+            ]
+            if not candidates:
+                continue
+            generator = InputGenerator(
+                application.seed_input, application.format_spec
+            )
+            for site_index, site in enumerate(context.sites):
+                matching = sorted(
+                    (
+                        record
+                        for record in candidates
+                        if record.matches_site(site.site_label, site.site_tag)
+                    ),
+                    key=lambda record: record.signature,
+                )
+                for record in matching:
+                    replay_started = time.perf_counter()
+                    try:
+                        data = rebuild_witness_input(record, generator)
+                    except (FormatError, ValueError):
+                        continue
+                    evaluation = context.detector.evaluate(data, site.site_label)
+                    if not evaluation.triggers_overflow:
+                        continue
+                    discovery_seconds = time.perf_counter() - replay_started
+                    report = OverflowBugReport(
+                        application=application.name,
+                        target=site.name,
+                        cve=application.known_cves.get(site.name, record.cve),
+                        error_type=evaluation.error_type(),
+                        enforced_branches=record.enforced_branches,
+                        relevant_branches=record.relevant_branches,
+                        analysis_seconds=0.0,
+                        discovery_seconds=discovery_seconds,
+                        triggering_field_values=dict(record.field_values),
+                        triggering_input=data,
+                    )
+                    skipped[(context.index, site_index)] = SiteResult(
+                        site=site,
+                        classification=SiteClassification.OVERFLOW_EXPOSED,
+                        bug_report=report,
+                        discovery_seconds=discovery_seconds,
+                    )
+                    # One fresh observation of the stored witness: the
+                    # corpus merge re-adds the stored times_seen itself.
+                    adopted[(context.index, site_index)] = replace(
+                        record, times_seen=1, status=STATUS_FRESH
+                    )
+                    break
+        return skipped, adopted
+
+    # ------------------------------------------------------------------
+    def _triage_results(
+        self,
+        contexts: List[ApplicationContext],
+        site_results: Dict["Slot", SiteResult],
+        request: UnitRunRequest,
+        adopted: Dict["Slot", "WitnessRecord"],
+    ) -> Tuple["TriageStats", Dict[str, "WitnessRecord"]]:
+        """Validate, minimize and deduplicate every discovered overflow.
+
+        Slots answered by corpus replay adopt their matched (already
+        minimized, just re-validated) record; slots the backend triaged on
+        the worker side (the process backend's witness payloads) are
+        adopted from their wire form; the rest run through a
+        per-application :class:`WitnessTriager` sharing the campaign's
+        seed-run detector.
+        """
+        from repro.triage.corpus import WitnessRecord, merge_records
+        from repro.triage.engine import TriageStats, WitnessTriager
+
+        stats = TriageStats()
+        records: Dict[str, "WitnessRecord"] = {}
+        triagers: Dict[int, WitnessTriager] = {}
+        for context in contexts:
+            for site_index, site in enumerate(context.sites):
+                slot = (context.index, site_index)
+                result = site_results.get(slot)
+                if result is None or result.bug_report is None:
+                    continue
+                stats.raw_reports += 1
+                if slot in adopted:
+                    record = adopted[slot]
+                elif slot in request.witness_results:
+                    wire = request.witness_results[slot]
+                    try:
+                        record = (
+                            None if wire is None else WitnessRecord.from_wire(wire)
+                        )
+                    except (KeyError, ValueError, TypeError):
+                        record = None
+                else:
+                    triager = triagers.get(context.index)
+                    if triager is None:
+                        triager = WitnessTriager(
+                            context.application,
+                            detector=context.detector,
+                            minimize=self.config.minimize_witnesses,
+                        )
+                        triagers[context.index] = triager
+                    record = triager.triage(site, result.bug_report)
+                if record is None:
+                    stats.validation_failures += 1
+                    continue
+                is_new = record.signature not in records
+                records[record.signature] = merge_records(
+                    records.get(record.signature), record
+                )
+                stats.register(record, is_new)
+        return stats, records
 
 
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:

@@ -34,6 +34,10 @@ class CandidateEvaluation:
     outcome: ExecutionOutcome = ExecutionOutcome.COMPLETED
     halt_message: str = ""
     requested_size: Optional[int] = None
+    #: Sorted wrapped-operator names at the target site (empty when the
+    #: candidate did not overflow there) — the provenance component of the
+    #: triage subsystem's canonical witness signature.
+    wrap_provenance: Tuple[str, ...] = ()
 
     @property
     def triggers_overflow(self) -> bool:
@@ -95,4 +99,5 @@ class ErrorDetector:
             outcome=execution.outcome,
             halt_message=execution.halt_message,
             requested_size=site_records[0].requested_size if site_records else None,
+            wrap_provenance=report.site_provenance(site_label),
         )

@@ -7,12 +7,21 @@ some arithmetic operation in the value's dataflow wrapped around its machine
 width.  An allocation whose requested size carries that flag is a genuine
 integer-overflow allocation, regardless of whether the subsequent
 out-of-bounds accesses happen to fault.
+
+The annotation is a *provenance set*, not a bare flag: the frozenset of
+wrapping operator names (``mul``, ``add``, ``sub``, ``shl``) that actually
+wrapped somewhere in the value's dataflow.  Truthiness keeps the original
+semantics (empty set = nothing wrapped), and the set itself is the
+wrapped-op provenance the triage subsystem hashes into canonical witness
+signatures (:mod:`repro.triage.signature`): two witnesses for the same site
+dedupe when their allocations wrapped through the same operators, however
+different their triggering field values are.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from repro.exec.concrete import ConcreteInterpreter
 from repro.exec.trace import ExecutionReport
@@ -21,6 +30,9 @@ from repro.lang.program import Program
 
 #: Operators whose result can exceed the machine width.
 _WRAPPING_OPS = frozenset({BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.SHL})
+
+#: The "nothing wrapped" annotation.
+_CLEAN: FrozenSet[str] = frozenset()
 
 
 @dataclass
@@ -31,6 +43,8 @@ class OverflowedAllocation:
     site_tag: Optional[str]
     requested_size: int
     sequence_index: int
+    #: Sorted names of the wrapping operators in the size's dataflow.
+    provenance: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -42,19 +56,33 @@ class OverflowWitnessReport:
 
     def overflowed_site_labels(self) -> List[int]:
         """Labels of allocation sites whose size overflowed in this run."""
-        seen: List[int] = []
-        for record in self.overflowed_allocations:
-            if record.site_label not in seen:
-                seen.append(record.site_label)
-        return seen
+        return list(
+            dict.fromkeys(r.site_label for r in self.overflowed_allocations)
+        )
 
     def site_overflowed(self, site_label: int) -> bool:
         """Whether the given site allocated a wrapped size during this run."""
         return any(r.site_label == site_label for r in self.overflowed_allocations)
 
+    def site_provenance(self, site_label: int) -> Tuple[str, ...]:
+        """Sorted wrapped-op names across every overflowed allocation at a site.
+
+        This is the provenance component of the site's canonical witness
+        signature; it is empty when the site did not overflow in this run.
+        """
+        merged = set()
+        for record in self.overflowed_allocations:
+            if record.site_label == site_label:
+                merged.update(record.provenance)
+        return tuple(sorted(merged))
+
 
 class OverflowWitnessInterpreter(ConcreteInterpreter):
-    """Concrete interpreter whose annotation is "this value's computation wrapped"."""
+    """Concrete interpreter whose annotation is "this value's computation wrapped".
+
+    Annotations are frozensets of wrapping operator names; the empty set
+    means the value's dataflow never wrapped.
+    """
 
     def __init__(self, program: Program, **kwargs: Any) -> None:
         super().__init__(program, **kwargs)
@@ -72,32 +100,35 @@ class OverflowWitnessInterpreter(ConcreteInterpreter):
     def _setup_analysis(self) -> None:
         self.witness_report = OverflowWitnessReport(execution=ExecutionReport())
 
-    def _annotate_constant(self, value: int) -> bool:
-        return False
+    def _annotate_constant(self, value: int) -> FrozenSet[str]:
+        return _CLEAN
 
-    def _annotate_input_size(self, value: int) -> bool:
-        return False
+    def _annotate_input_size(self, value: int) -> FrozenSet[str]:
+        return _CLEAN
 
-    def _annotate_input_byte(self, offset: int, value: int, offset_annotation: Any) -> bool:
-        return False
+    def _annotate_input_byte(
+        self, offset: int, value: int, offset_annotation: Any
+    ) -> FrozenSet[str]:
+        return _CLEAN
 
-    def _annotate_unary(self, op: UnaryOp, operand: Tuple[int, Any], result: int) -> bool:
-        if op is UnaryOp.NEG and operand[0] != 0:
-            # Negation of a non-zero unsigned value always wraps; treat it as
-            # benign (it is how two's-complement code is written) unless the
-            # operand already carried a wrap.
-            return bool(operand[1])
-        return bool(operand[1])
+    def _annotate_unary(
+        self, op: UnaryOp, operand: Tuple[int, Any], result: int
+    ) -> FrozenSet[str]:
+        # Negation of a non-zero unsigned value always wraps; treat it as
+        # benign (it is how two's-complement code is written) unless the
+        # operand already carried a wrap.
+        return operand[1] or _CLEAN
 
     def _annotate_binary(
         self, op: BinaryOp, left: Tuple[int, Any], right: Tuple[int, Any], result: int
-    ) -> bool:
-        carried = bool(left[1]) or bool(right[1])
+    ) -> FrozenSet[str]:
+        carried = (left[1] or _CLEAN) | (right[1] or _CLEAN)
         if op not in _WRAPPING_OPS:
             return carried
         ideal = self._ideal_result(op, left[0], right[0])
-        wrapped_here = ideal is not None and self.machine.wrap(ideal) != ideal
-        return carried or wrapped_here
+        if ideal is not None and self.machine.wrap(ideal) != ideal:
+            return carried | {op.name.lower()}
+        return carried
 
     @staticmethod
     def _ideal_result(op: BinaryOp, left: int, right: int) -> Optional[int]:
@@ -111,21 +142,26 @@ class OverflowWitnessInterpreter(ConcreteInterpreter):
             return left << right if right < 64 else None
         return None
 
-    def _annotate_alloc_address(self, size: Tuple[int, Any], address: int) -> bool:
-        return False
+    def _annotate_alloc_address(self, size: Tuple[int, Any], address: int) -> FrozenSet[str]:
+        return _CLEAN
 
-    def _observe_branch(self, statement: Stmt, condition: Tuple[int, Any], taken: bool) -> bool:
-        return bool(condition[1])
+    def _observe_branch(
+        self, statement: Stmt, condition: Tuple[int, Any], taken: bool
+    ) -> FrozenSet[str]:
+        return condition[1] or _CLEAN
 
-    def _observe_allocation(self, statement: AllocStmt, size: Tuple[int, Any]) -> bool:
-        overflowed = bool(size[1])
-        if overflowed and self.witness_report is not None:
+    def _observe_allocation(
+        self, statement: AllocStmt, size: Tuple[int, Any]
+    ) -> FrozenSet[str]:
+        provenance = size[1] or _CLEAN
+        if provenance and self.witness_report is not None:
             self.witness_report.overflowed_allocations.append(
                 OverflowedAllocation(
                     site_label=statement.label if statement.label is not None else -1,
                     site_tag=statement.tag,
                     requested_size=size[0],
                     sequence_index=self.sequence_index,
+                    provenance=tuple(sorted(provenance)),
                 )
             )
-        return overflowed
+        return provenance

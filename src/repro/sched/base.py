@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_EXCEPTION, Future, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -76,6 +76,17 @@ class UnitRunRequest:
     #: Registry short names indexed by ``app_index`` — what a worker process
     #: needs to rebuild the application model on its side of the pipe.
     application_names: List[str]
+    #: Whether workers should triage bug reports (validate + minimize + sign
+    #: witnesses; :mod:`repro.triage`).  Only the process backend acts on
+    #: it — in-process backends leave triage to the campaign engine, which
+    #: already holds the shared per-application collaborators.
+    triage: bool = False
+    #: Whether worker-side triage minimizes witnesses before signing.
+    minimize_witnesses: bool = True
+    #: Filled by backends that triage on the worker side: ``slot → wire-form
+    #: WitnessRecord`` (``None`` = the report failed witness re-validation).
+    #: Slots absent from this mapping are triaged by the campaign engine.
+    witness_results: Dict[Slot, Optional[dict]] = field(default_factory=dict)
 
     def run_unit(self, unit: CampaignUnit) -> "SiteResult":
         """Execute one unit in-process against the shared contexts."""

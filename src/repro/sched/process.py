@@ -14,7 +14,12 @@ term would rebuild as a distinct, non-interned object and silently break
   the :mod:`repro.smt.cachestore` wire format — whole-query verdicts *and*
   component-granularity verdicts, each tagged with its kind — which the
   parent merges into the campaign cache so a persistent store (or a later
-  run) sees every worker's verdicts at both granularities.
+  run) sees every worker's verdicts at both granularities.  When the
+  campaign enables triage, each unit's result also carries a wire-form
+  :class:`~repro.triage.corpus.WitnessRecord` (validated, minimized,
+  signed *in the worker*, which parallelizes minimization's concrete
+  re-validation runs); the parent collects them into
+  ``request.witness_results`` for the campaign's corpus merge.
 
 Workers are primed at pool start with the parent cache's current contents
 (the warm-start path when a ``--cache-dir`` store was loaded), and report
@@ -84,6 +89,8 @@ class _WorkerState:
         diode,
         use_cache: bool,
         seed_entries: List[dict],
+        triage: bool = False,
+        minimize_witnesses: bool = True,
     ) -> None:
         from repro.smt.cache import SimplifyMemo, SolverCache
 
@@ -91,6 +98,9 @@ class _WorkerState:
         self.diode = diode
         self.cache = SolverCache() if use_cache else None
         self.contexts: Dict[int, "ApplicationContext"] = {}
+        self.triage = triage
+        self.minimize_witnesses = minimize_witnesses
+        self.triagers: Dict[int, object] = {}
         #: ``(kind, key)`` pairs already shipped to the parent — whole-query
         #: and component entries travel through the same delta stream.
         self.exported_keys: set = set()
@@ -117,6 +127,21 @@ class _WorkerState:
             self.contexts[app_index] = context
         return context
 
+    def triager_for(self, app_index: int):
+        """Lazy per-⟨worker, application⟩ witness triager."""
+        triager = self.triagers.get(app_index)
+        if triager is None:
+            from repro.triage.engine import WitnessTriager
+
+            context = self.context_for(app_index)
+            triager = WitnessTriager(
+                context.application,
+                detector=context.detector,
+                minimize=self.minimize_witnesses,
+            )
+            self.triagers[app_index] = triager
+        return triager
+
 
 _STATE: Optional[_WorkerState] = None
 
@@ -126,15 +151,19 @@ def _worker_init(
     diode,
     use_cache: bool,
     seed_entries: List[dict],
+    triage: bool = False,
+    minimize_witnesses: bool = True,
 ) -> None:
     global _STATE
-    _STATE = _WorkerState(application_names, diode, use_cache, seed_entries)
+    _STATE = _WorkerState(
+        application_names, diode, use_cache, seed_entries, triage, minimize_witnesses
+    )
 
 
 def _worker_run(
     unit: CampaignUnit,
-) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...]]:
-    """Analyze one unit in the worker; return payload + cache delta."""
+) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...], Optional[dict]]:
+    """Analyze one unit in the worker; return payload + cache/witness deltas."""
     from repro.core.engine import analyze_site
 
     state = _STATE
@@ -162,7 +191,19 @@ def _worker_run(
             now - before for now, before in zip(mark, state.stats_mark)
         )
         state.stats_mark = mark
-    return SiteResultPayload.from_site_result(result), delta, stats_delta
+
+    witness_wire: Optional[dict] = None
+    if state.triage and result.bug_report is not None:
+        record = state.triager_for(unit.app_index).triage(
+            context.sites[unit.site_index], result.bug_report
+        )
+        witness_wire = None if record is None else record.to_wire()
+    return (
+        SiteResultPayload.from_site_result(result),
+        delta,
+        stats_delta,
+        witness_wire,
+    )
 
 
 class ProcessBackend(Backend):
@@ -185,6 +226,8 @@ class ProcessBackend(Backend):
                 request.diode,
                 request.cache is not None,
                 seed_entries,
+                request.triage,
+                request.minimize_witnesses,
             ),
         ) as executor:
             futures = [
@@ -193,13 +236,18 @@ class ProcessBackend(Backend):
             payloads = drain_futures(request.units, futures)
 
         results: Dict[Slot, object] = {}
-        for unit, (payload, delta, stats_delta) in zip(request.units, payloads):
+        for unit, (payload, delta, stats_delta, witness_wire) in zip(
+            request.units, payloads
+        ):
+            slot = (unit.app_index, unit.site_index)
             site = request.contexts[unit.app_index].sites[unit.site_index]
-            results[(unit.app_index, unit.site_index)] = payload.to_site_result(site)
+            results[slot] = payload.to_site_result(site)
             if request.cache is not None:
                 if delta:
                     from repro.smt.cachestore import merge_wire_entries
 
                     merge_wire_entries(request.cache, delta)
                 request.cache.add_external_stats(*stats_delta)
+            if request.triage and payload.bug_report is not None:
+                request.witness_results[slot] = witness_wire
         return results

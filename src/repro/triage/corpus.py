@@ -1,0 +1,382 @@
+"""The persistent witness corpus: versioned, sharded, merge-on-save JSON.
+
+The corpus is the triage subsystem's memory across runs: one
+:class:`WitnessRecord` per canonical witness signature, stored under a
+``--corpus-dir`` with the same durability discipline as the solver-cache
+store (:mod:`repro.smt.cachestore`):
+
+* ``meta.json`` carries the corpus **format version** and a semantic
+  **fingerprint** (machine word width + signature version).  A mismatch on
+  either means the stored witnesses may be meaningless under the current
+  semantics, so the load is a cold start and the next save overwrites the
+  store.
+* records are **sharded** over ``shard-NN.json`` files by a stable hash of
+  their signature, so files stay small and a corrupt shard loses its
+  records, never the corpus.
+* every file is written with an atomic replace, so readers racing a writer
+  see complete files.
+
+Saving **merges**: under an exclusive lock file (so racing writers cannot
+interleave their load → merge → write sequences), the on-disk corpus is
+re-read and the new records folded in by signature — so parallel
+campaigns, process-backend workers and sequential runs all converge on one
+deduplicated corpus instead of clobbering each other.  On a signature
+collision the smaller witness wins
+(fewest changed fields, then the smaller perturbation) and the
+``times_seen`` counters accumulate.
+
+Wire-format versioning rules (mirrored in the README):
+
+* adding an optional record field is backward compatible — readers default
+  it (see :meth:`WitnessRecord.from_wire`) and must not bump the version;
+* removing, renaming or re-interpreting a field bumps
+  :data:`CORPUS_FORMAT_VERSION`;
+* changes to what a signature *means* bump
+  :data:`~repro.triage.signature.SIGNATURE_VERSION`, which flows into the
+  fingerprint and likewise invalidates old stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exec.values import WORD_WIDTH
+from repro.triage.signature import SIGNATURE_VERSION, site_identity
+
+__all__ = [
+    "CORPUS_FORMAT_VERSION",
+    "CorpusStore",
+    "WitnessRecord",
+    "corpus_fingerprint",
+    "merge_records",
+]
+
+#: Bump when the record wire format changes incompatibly.
+CORPUS_FORMAT_VERSION = 1
+
+#: Default number of shard files a corpus spreads its records over.
+DEFAULT_SHARD_COUNT = 8
+
+_META_NAME = "meta.json"
+
+_LOCK_NAME = ".lock"
+
+#: How long a writer waits for the save lock before assuming its holder
+#: died and breaking it (campaign saves take milliseconds).
+_LOCK_TIMEOUT_SECONDS = 10.0
+
+_LOCK_POLL_SECONDS = 0.02
+
+#: Errors that mean "this record/file is unusable", not "crash the run".
+_WIRE_ERRORS = (KeyError, ValueError, TypeError, AttributeError)
+
+#: Replay / lifecycle statuses a record can carry.
+STATUS_FRESH = "fresh"
+STATUS_STILL_TRIGGERS = "still-triggers"
+STATUS_NO_LONGER_TRIGGERS = "no-longer-triggers"
+STATUS_UNKNOWN_SITE = "unknown-site"
+STATUS_UNKNOWN_APPLICATION = "unknown-application"
+
+
+def corpus_fingerprint() -> Tuple:
+    """Fingerprint of the semantics stored witnesses depend on.
+
+    A witness is "field values that wrap a size computation on a given
+    machine word width, under a given signature definition"; either
+    changing invalidates the corpus.
+    """
+    return ("word-width", WORD_WIDTH, "signature-version", SIGNATURE_VERSION)
+
+
+@dataclass
+class WitnessRecord:
+    """One deduplicated, minimized, verified overflow witness."""
+
+    signature: str
+    application: str
+    site_label: int
+    site_tag: Optional[str]
+    #: Sorted wrapped-operator names from the witness run.
+    provenance: Tuple[str, ...]
+    #: Minimized triggering field values (path → integer value).
+    field_values: Dict[str, int]
+    #: Raw triggering input (hex) for witnesses the field vocabulary cannot
+    #: rebuild; ``None`` when ``field_values`` alone re-triggers.
+    input_hex: Optional[str] = None
+    requested_size: Optional[int] = None
+    error_type: str = "None"
+    cve: str = "New"
+    enforced_branches: int = 0
+    relevant_branches: int = 0
+    #: Whether the minimization pass validated a reduced witness (False for
+    #: raw-input fallback records stored as-found).
+    minimized: bool = False
+    removed_fields: int = 0
+    shrunk_fields: int = 0
+    original_fields: int = 0
+    times_seen: int = 1
+    status: str = STATUS_FRESH
+
+    # ------------------------------------------------------------------
+    @property
+    def site_name(self) -> str:
+        """Human-readable site name (tag when present, else the label)."""
+        return site_identity(self.site_label, self.site_tag)
+
+    def matches_site(self, site_label: int, site_tag: Optional[str]) -> bool:
+        """Whether this record describes the given allocation site."""
+        if self.site_tag is not None and site_tag is not None:
+            return self.site_tag == site_tag
+        return self.site_label == site_label
+
+    def changed_field_count(self) -> int:
+        return len(self.field_values)
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """JSON-able form of this record (also the process-backend payload)."""
+        return {
+            "signature": self.signature,
+            "application": self.application,
+            "site_label": self.site_label,
+            "site_tag": self.site_tag,
+            "provenance": list(self.provenance),
+            "field_values": dict(self.field_values),
+            "input_hex": self.input_hex,
+            "requested_size": self.requested_size,
+            "error_type": self.error_type,
+            "cve": self.cve,
+            "enforced_branches": self.enforced_branches,
+            "relevant_branches": self.relevant_branches,
+            "minimized": self.minimized,
+            "removed_fields": self.removed_fields,
+            "shrunk_fields": self.shrunk_fields,
+            "original_fields": self.original_fields,
+            "times_seen": self.times_seen,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: Mapping) -> "WitnessRecord":
+        """Inverse of :meth:`to_wire`; raises on malformed records."""
+        return cls(
+            signature=str(obj["signature"]),
+            application=str(obj["application"]),
+            site_label=int(obj["site_label"]),
+            site_tag=None if obj.get("site_tag") is None else str(obj["site_tag"]),
+            provenance=tuple(str(op) for op in obj.get("provenance", ())),
+            field_values={
+                str(path): int(value)
+                for path, value in dict(obj.get("field_values", {})).items()
+            },
+            input_hex=(
+                None if obj.get("input_hex") is None else str(obj["input_hex"])
+            ),
+            requested_size=(
+                None
+                if obj.get("requested_size") is None
+                else int(obj["requested_size"])
+            ),
+            error_type=str(obj.get("error_type", "None")),
+            cve=str(obj.get("cve", "New")),
+            enforced_branches=int(obj.get("enforced_branches", 0)),
+            relevant_branches=int(obj.get("relevant_branches", 0)),
+            minimized=bool(obj.get("minimized", False)),
+            removed_fields=int(obj.get("removed_fields", 0)),
+            shrunk_fields=int(obj.get("shrunk_fields", 0)),
+            original_fields=int(obj.get("original_fields", 0)),
+            times_seen=max(1, int(obj.get("times_seen", 1))),
+            status=str(obj.get("status", STATUS_FRESH)),
+        )
+
+
+def merge_records(
+    existing: Optional[WitnessRecord], incoming: WitnessRecord
+) -> WitnessRecord:
+    """Fold two records with the same signature into one.
+
+    The smaller witness wins — fewest changed fields, then the smaller
+    total perturbation — so repeated campaigns monotonically improve the
+    corpus.  ``times_seen`` accumulates across both.
+    """
+    if existing is None:
+        return replace(incoming)
+    if existing.signature != incoming.signature:
+        raise ValueError(
+            f"cannot merge records with different signatures "
+            f"({existing.signature} vs {incoming.signature})"
+        )
+    winner = min(existing, incoming, key=_witness_size)
+    return replace(
+        winner, times_seen=existing.times_seen + incoming.times_seen
+    )
+
+
+def _witness_size(record: WitnessRecord) -> Tuple[int, int, int]:
+    """Ordering key for merge conflicts: smaller witnesses sort first."""
+    return (
+        0 if record.input_hex is None else 1,  # field-rebuildable beats raw
+        record.changed_field_count(),
+        sum(abs(value) for value in record.field_values.values()),
+    )
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class CorpusStore:
+    """Versioned, fingerprinted, sharded witness-corpus persistence."""
+
+    def __init__(
+        self, corpus_dir: str, shard_count: int = DEFAULT_SHARD_COUNT
+    ) -> None:
+        self.corpus_dir = str(corpus_dir)
+        self.shard_count = max(1, int(shard_count))
+
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> str:
+        return os.path.join(self.corpus_dir, _META_NAME)
+
+    def _shard_path(self, index: int) -> str:
+        return os.path.join(self.corpus_dir, f"shard-{index:02d}.json")
+
+    @staticmethod
+    def _shard_of(signature: str, shard_count: int) -> int:
+        digest = hashlib.sha1(signature.encode("utf-8")).hexdigest()
+        return int(digest, 16) % shard_count
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, WitnessRecord]:
+        """Read the corpus; empty on absence, version or fingerprint mismatch."""
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        try:
+            if meta.get("version") != CORPUS_FORMAT_VERSION:
+                return {}
+            if tuple(meta.get("fingerprint", ())) != corpus_fingerprint():
+                return {}
+            shard_count = int(meta.get("shards", DEFAULT_SHARD_COUNT))
+        except _WIRE_ERRORS:
+            return {}
+
+        records: Dict[str, WitnessRecord] = {}
+        for index in range(shard_count):
+            try:
+                with open(self._shard_path(index), "r", encoding="utf-8") as handle:
+                    entries = json.load(handle)
+            except FileNotFoundError:
+                continue
+            except (OSError, json.JSONDecodeError):
+                # One corrupt shard loses its records, not the corpus.
+                continue
+            if not isinstance(entries, list):
+                continue
+            for item in entries:
+                try:
+                    record = WitnessRecord.from_wire(item)
+                except _WIRE_ERRORS:
+                    continue
+                records[record.signature] = merge_records(
+                    records.get(record.signature), record
+                )
+        return records
+
+    # ------------------------------------------------------------------
+    def save(
+        self, records: Mapping[str, WitnessRecord], merge: bool = True
+    ) -> int:
+        """Write ``records``; returns the total records now stored.
+
+        With ``merge`` (the default) the on-disk corpus is re-read and the
+        new records folded in by signature, so concurrent or sequential
+        campaigns converge instead of overwriting each other.  The whole
+        load → merge → write sequence runs under an exclusive lock file —
+        per-file atomic replaces alone would let two racing writers each
+        miss the other's records.  ``merge=False`` replaces the store
+        outright (the replay subcommand uses it after rewriting statuses).
+        """
+        os.makedirs(self.corpus_dir, exist_ok=True)
+        lock_fd = self._acquire_lock()
+        try:
+            combined: Dict[str, WitnessRecord] = self.load() if merge else {}
+            for signature, record in records.items():
+                combined[signature] = merge_records(
+                    combined.get(signature), record
+                )
+
+            shards: Dict[int, List[dict]] = {}
+            for signature in sorted(combined):
+                shards.setdefault(
+                    self._shard_of(signature, self.shard_count), []
+                ).append(combined[signature].to_wire())
+
+            for index in range(self.shard_count):
+                path = self._shard_path(index)
+                entries = shards.get(index)
+                if not entries:
+                    try:
+                        os.remove(path)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                self._write_atomic(path, entries)
+            self._write_atomic(
+                self._meta_path(),
+                {
+                    "version": CORPUS_FORMAT_VERSION,
+                    "fingerprint": list(corpus_fingerprint()),
+                    "shards": self.shard_count,
+                    "entries": len(combined),
+                },
+            )
+        finally:
+            self._release_lock(lock_fd)
+        return len(combined)
+
+    # ------------------------------------------------------------------
+    def _lock_path(self) -> str:
+        return os.path.join(self.corpus_dir, _LOCK_NAME)
+
+    def _acquire_lock(self) -> int:
+        """Take the exclusive save lock, breaking it if its holder died."""
+        deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path(), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                return fd
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    # The holder has been gone far longer than any save
+                    # takes; reclaim the lock rather than deadlocking.
+                    try:
+                        os.remove(self._lock_path())
+                    except FileNotFoundError:
+                        pass
+                    deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
+                else:
+                    time.sleep(_LOCK_POLL_SECONDS)
+
+    def _release_lock(self, fd: int) -> None:
+        os.close(fd)
+        try:
+            os.remove(self._lock_path())
+        except FileNotFoundError:  # pragma: no cover - freed by a breaker
+            pass
+
+    @staticmethod
+    def _write_atomic(path: str, payload) -> None:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)

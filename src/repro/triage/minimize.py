@@ -1,0 +1,224 @@
+"""Witness minimization: the smallest field values that still wrap.
+
+A discovered witness carries the solver's triggering field values verbatim
+— often more fields than the overflow needs, at values further from the
+seed than necessary.  Before a witness enters the corpus, the minimizer
+reduces it in two passes, re-validating **every** candidate with a concrete
+:class:`~repro.exec.overflow_witness.OverflowWitnessInterpreter` run (via
+the application's :class:`~repro.core.detection.ErrorDetector`, so seed-run
+errors stay filtered):
+
+1. **ddmin over the changed fields** — fields whose triggering value equals
+   the seed baseline are dropped outright; the rest go through the classic
+   delta-debugging complement loop until no chunk of the surviving fields
+   can be reverted to baseline without losing the overflow;
+2. **per-field shrink toward baseline** — for each surviving field, a
+   bounded binary search between the seed's value and the triggering value
+   finds a smaller perturbation that still wraps the allocation.
+
+Because acceptance is always "this exact candidate re-triggered the
+overflow at the target site", the minimized witness is re-verified by
+construction — the property ``bench_triage.py`` gates.
+
+The search is budgeted (:attr:`WitnessMinimizer.max_attempts` concrete
+runs); exhausting the budget just stops shrinking early, it never
+invalidates the witness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.apps.appbase import Application
+from repro.core.detection import CandidateEvaluation, ErrorDetector
+from repro.core.inputs import InputGenerator
+from repro.formats.spec import FormatError
+
+__all__ = ["MinimizationOutcome", "WitnessMinimizer"]
+
+#: Default budget of concrete validation runs per witness.  Triggering
+#: candidates exercise the overflow path (the *slow* executions), so the
+#: default trades the last few bits of shrink precision for keeping the
+#: triage pass a small fraction of campaign wall-clock; callers persisting
+#: a long-lived corpus can raise it.
+DEFAULT_MAX_ATTEMPTS = 32
+
+#: Binary-search steps per field in the shrink pass.
+_SHRINK_STEPS = 6
+
+
+@dataclass
+class MinimizationOutcome:
+    """The result of minimizing one witness."""
+
+    #: The minimized triggering field values (only fields that differ from
+    #: the seed baseline survive).
+    field_values: Dict[str, int]
+    #: Whether the final ``field_values`` re-triggered the overflow.  When
+    #: False the witness could not even be rebuilt from its field values
+    #: (e.g. raw-byte assignments the field vocabulary cannot express) and
+    #: ``field_values`` echoes the input unchanged.
+    validated: bool
+    #: Concrete validation runs spent.
+    attempts: int
+    #: Fields reverted to their baseline value by the ddmin pass.
+    removed_fields: int
+    #: Fields whose value the shrink pass moved toward the baseline.
+    shrunk_fields: int
+    #: Field count of the original witness.
+    original_fields: int
+    #: The detector evaluation of the final minimized candidate (``None``
+    #: when ``validated`` is False).
+    evaluation: Optional[CandidateEvaluation] = field(default=None, repr=False)
+
+
+class WitnessMinimizer:
+    """ddmin-style reduction of triggering field values for one application."""
+
+    def __init__(
+        self,
+        application: Application,
+        detector: Optional[ErrorDetector] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self.application = application
+        self.detector = detector or ErrorDetector(
+            application.program, application.seed_input
+        )
+        self.generator = InputGenerator(
+            application.seed_input, application.format_spec
+        )
+        self.max_attempts = max(1, int(max_attempts))
+        self._attempts = 0
+        self._last_evaluation: Optional[CandidateEvaluation] = None
+
+    # ------------------------------------------------------------------
+    def baseline_value(self, path: str) -> Optional[int]:
+        """The seed input's value for a named field (``None`` if unknown)."""
+        spec = self.application.format_spec
+        if spec is None or not spec.has_field(path):
+            return None
+        try:
+            return spec.field(path).read(self.application.seed_input)
+        except FormatError:
+            return None
+
+    # ------------------------------------------------------------------
+    def minimize(
+        self, site_label: int, field_values: Mapping[str, int]
+    ) -> MinimizationOutcome:
+        """Reduce ``field_values`` to a minimal overflow-triggering core."""
+        self._attempts = 0
+        self._last_evaluation = None
+        original = dict(field_values)
+
+        if not self._triggers(site_label, original):
+            return MinimizationOutcome(
+                field_values=original,
+                validated=False,
+                attempts=self._attempts,
+                removed_fields=0,
+                shrunk_fields=0,
+                original_fields=len(original),
+            )
+        best_evaluation = self._last_evaluation
+
+        # Fields already at their baseline value contribute nothing to the
+        # rewritten input; drop them before spending ddmin budget.
+        changed = [
+            path
+            for path in original
+            if original[path] != self.baseline_value(path)
+        ]
+        kept = self._ddmin(site_label, changed, original)
+        values = {path: original[path] for path in kept}
+        if kept != changed:
+            # The reduced set was validated inside _ddmin; keep its run.
+            best_evaluation = self._last_evaluation
+
+        shrunk = 0
+        for path in list(values):
+            if self._shrink_field(site_label, values, path):
+                shrunk += 1
+                best_evaluation = self._last_evaluation
+
+        return MinimizationOutcome(
+            field_values=values,
+            validated=True,
+            attempts=self._attempts,
+            removed_fields=len(original) - len(values),
+            shrunk_fields=shrunk,
+            original_fields=len(original),
+            evaluation=best_evaluation,
+        )
+
+    # ------------------------------------------------------------------
+    def _triggers(self, site_label: int, field_values: Mapping[str, int]) -> bool:
+        """One budgeted concrete validation run."""
+        if self._attempts >= self.max_attempts:
+            return False
+        self._attempts += 1
+        candidate = self.generator.generate_from_fields(field_values)
+        evaluation = self.detector.evaluate(candidate.data, site_label)
+        if evaluation.triggers_overflow:
+            self._last_evaluation = evaluation
+            return True
+        return False
+
+    def _ddmin(
+        self, site_label: int, changed: List[str], values: Mapping[str, int]
+    ) -> List[str]:
+        """Classic ddmin complement loop over the changed-field list."""
+        current = list(changed)
+        granularity = 2
+        while len(current) >= 2 and self._attempts < self.max_attempts:
+            chunk = math.ceil(len(current) / granularity)
+            reduced = False
+            for start in range(0, len(current), chunk):
+                subset = set(current[start : start + chunk])
+                complement = [path for path in current if path not in subset]
+                if not complement:
+                    continue
+                if self._triggers(
+                    site_label, {path: values[path] for path in complement}
+                ):
+                    current = complement
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(current):
+                    break
+                granularity = min(len(current), granularity * 2)
+        return current
+
+    def _shrink_field(
+        self, site_label: int, values: Dict[str, int], path: str
+    ) -> bool:
+        """Binary-search ``values[path]`` toward the seed baseline in place."""
+        baseline = self.baseline_value(path)
+        triggering = values[path]
+        if baseline is None or baseline == triggering:
+            return False
+        # Invariant: ``high`` triggers, ``low`` does not (ddmin already
+        # established that reverting the field to baseline loses the wrap).
+        low, high = baseline, triggering
+        for _ in range(_SHRINK_STEPS):
+            if abs(high - low) <= 1 or self._attempts >= self.max_attempts:
+                break
+            mid = (low + high) // 2
+            trial = dict(values)
+            trial[path] = mid
+            if self._triggers(site_label, trial):
+                high = mid
+            else:
+                low = mid
+        if high != triggering:
+            values[path] = high
+            # Keep _last_evaluation consistent with the accepted values: the
+            # last successful run used some trial dict; re-validate the final
+            # composition only if the last success was not exactly ``values``.
+            return True
+        return False

@@ -1,0 +1,77 @@
+"""Canonical witness signatures: one stable identity per distinct overflow.
+
+A campaign can rediscover the same integer overflow many times — under
+different schedules, backends, runs, or with different solver-chosen field
+values.  The paper's Table 2 counts *distinct* overflows, so the triage
+subsystem needs an identity that collapses rediscoveries while separating
+genuinely different bugs.
+
+The signature hashes three components:
+
+* the **application** name — the same site tag can exist in two models;
+* the **canonical site identity** — the site's ``@ "tag"`` annotation when
+  present (stable across recompilations of the model), else its numeric
+  allocation label;
+* the **wrapped-op provenance** — the sorted set of operator names whose
+  results actually wrapped in the allocation size's dataflow, as observed
+  by a concrete :class:`~repro.exec.overflow_witness.OverflowWitnessInterpreter`
+  run of the witness.
+
+Field values are deliberately *not* hashed: ``width=65536`` and
+``width=131072`` that wrap the same multiplication at the same site are the
+same bug.  Two distinct overflows at one site (say an additive wrap guarded
+separately from a multiplicative one) differ in provenance and keep
+distinct signatures.
+
+Signatures are versioned (``w<version>-<digest>``); bump
+:data:`SIGNATURE_VERSION` when the identity components change so corpora
+built under the old definition cannot silently half-dedupe against new
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional, Sequence
+
+__all__ = ["SIGNATURE_VERSION", "site_identity", "witness_signature"]
+
+#: Bump when the signature's identity components change.
+SIGNATURE_VERSION = 1
+
+#: Hex digits of the SHA-256 digest kept in the signature: 80 bits is far
+#: beyond collision range for corpus-sized populations and keeps signatures
+#: grep-friendly.
+_DIGEST_HEX_CHARS = 20
+
+
+def site_identity(site_label: int, site_tag: Optional[str]) -> str:
+    """The canonical site component of a witness signature.
+
+    Prefers the source-level tag (``png.c@203``) — stable across model
+    edits that renumber labels — and falls back to the numeric label for
+    untagged sites, mirroring :attr:`repro.core.sites.TargetSite.name`.
+    """
+    return site_tag or f"alloc@{site_label}"
+
+
+def witness_signature(
+    application: str,
+    site_label: int,
+    site_tag: Optional[str],
+    provenance: Sequence[str],
+) -> str:
+    """Canonical signature of one verified overflow witness."""
+    payload = json.dumps(
+        {
+            "v": SIGNATURE_VERSION,
+            "app": application,
+            "site": site_identity(site_label, site_tag),
+            "ops": sorted(set(provenance)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return f"w{SIGNATURE_VERSION}-{digest[:_DIGEST_HEX_CHARS]}"

@@ -200,6 +200,136 @@ class TestCampaignCommand:
         assert "cache store" in out
 
 
+class TestCampaignTriageFlags:
+    def test_campaign_json_reports_triage_stats(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--apps", "dillo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        triage = payload["triage"]
+        assert triage["raw_reports"] == 3
+        assert triage["distinct"] == 3
+        assert triage["validation_failures"] == 0
+        assert triage["dedup_ratio"] == 1.0
+        assert triage["minimized"] == 3
+        assert payload["corpus"] is None
+
+    def test_campaign_corpus_dir_round_trip(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        args = ["campaign", "--jobs", "1", "--apps", "dillo", "--corpus-dir", corpus_dir]
+        assert main(args + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["corpus"]["loaded"] == 0
+        assert cold["corpus"]["saved"] == 3
+
+        assert main(args + ["--skip-known", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["corpus"]["loaded"] == 3
+        assert warm["corpus"]["skipped_known"] == 3
+        assert warm["classifications"] == cold["classifications"]
+
+    def test_campaign_text_output_reports_triage(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--corpus-dir", corpus_dir]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "witness triage:" in out
+        assert "witness corpus" in out
+
+    def test_no_save_corpus_reports_not_saved(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        args = [
+            "campaign", "--jobs", "1", "--apps", "dillo",
+            "--corpus-dir", corpus_dir, "--no-save-corpus",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "not saved back" in out
+        assert "now holds" not in out
+        assert main(args + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corpus"]["saved"] is None
+
+    def test_skip_known_without_corpus_dir_is_rejected(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--skip-known"]) == 2
+        assert "--corpus-dir" in capsys.readouterr().err
+
+    def test_no_minimize_flag(self, capsys):
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--no-minimize", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["triage"]["minimized"] == 0
+        assert payload["triage"]["distinct"] == 3
+
+
+class TestReplayCommand:
+    def test_replay_missing_corpus_fails(self, capsys, tmp_path):
+        assert main(["replay", "--corpus-dir", str(tmp_path / "nope")]) == 2
+        assert "no witness corpus" in capsys.readouterr().err
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--corpus-dir", corpus_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", "--corpus-dir", corpus_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 3
+        assert payload["counts"] == {"still-triggers": 3}
+        assert all(
+            entry["status"] == "still-triggers" for entry in payload["entries"]
+        )
+
+    def test_replay_strict_flags_regressions(self, capsys, tmp_path):
+        from repro.triage.corpus import CorpusStore
+
+        corpus_dir = str(tmp_path / "corpus")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--corpus-dir", corpus_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        store = CorpusStore(corpus_dir)
+        records = store.load()
+        for record in records.values():
+            record.field_values = {path: 1 for path in record.field_values}
+            record.input_hex = None
+        store.save(records, merge=False)
+        assert main(["replay", "--corpus-dir", corpus_dir, "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "no-longer-triggers" in out
+        # Replay wrote the statuses back to the corpus.
+        assert all(
+            record.status == "no-longer-triggers"
+            for record in CorpusStore(corpus_dir).load().values()
+        )
+
+    def test_replay_app_filter(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--corpus-dir", corpus_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", "--corpus-dir", corpus_dir, "--apps", "vlc"]) == 0
+        out = capsys.readouterr().out
+        assert "0 witness(es) replayed" in out
+
+
 class TestVersionFlag:
     def test_version_flag_prints_the_package_version(self, capsys):
         from repro import __version__

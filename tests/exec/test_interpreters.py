@@ -273,3 +273,49 @@ class TestOverflowWitness:
         program = _program("w = input(0) - 10; buf = alloc(w);")
         report = OverflowWitnessInterpreter(program).run_witness(bytes([3]))
         assert len(report.overflowed_allocations) == 1
+
+    def test_provenance_names_the_wrapping_operators(self):
+        program = _program(
+            "w = input(0) * 16777216; v = w * 256 + 5; buf = alloc(v);"
+        )
+        report = OverflowWitnessInterpreter(program).run_witness(bytes([255]))
+        assert len(report.overflowed_allocations) == 1
+        record = report.overflowed_allocations[0]
+        # The multiply wrapped; the add of 5 to the (wrapped-to-zero) value
+        # did not wrap again, so it carries the flag but adds no provenance.
+        assert record.provenance == ("mul",)
+        assert report.site_provenance(record.site_label) == ("mul",)
+
+    def test_provenance_accumulates_distinct_operators(self):
+        program = _program(
+            "a = input(0) * 33554432; b = a + 4026531840; buf = alloc(a + b);"
+        )
+        report = OverflowWitnessInterpreter(program).run_witness(bytes([255]))
+        assert report.overflowed_allocations
+        provenance = report.site_provenance(
+            report.overflowed_allocations[0].site_label
+        )
+        assert "mul" in provenance
+        assert provenance == tuple(sorted(provenance))
+
+    def test_site_provenance_empty_for_clean_site(self):
+        program = _program("buf = alloc(input(0) + 1);")
+        report = OverflowWitnessInterpreter(program).run_witness(bytes([5]))
+        assert report.site_provenance(0) == ()
+
+    def test_overflowed_site_labels_deduplicates_in_first_seen_order(self):
+        program = _program(
+            "i = 0; while (i < 3) {"
+            " buf = alloc(input(0) * 16777216 * 256);"
+            " buf2 = alloc(input(0) * 33554432 * 128);"
+            " i = i + 1; }"
+        )
+        report = OverflowWitnessInterpreter(program).run_witness(bytes([255]))
+        labels = report.overflowed_site_labels()
+        # Two distinct sites, each overflowed three times: deduplicated,
+        # first-dynamic-execution order preserved.
+        assert len(report.overflowed_allocations) == 6
+        assert len(labels) == 2
+        assert labels == sorted(set(labels), key=labels.index)
+        first_seen = [r.site_label for r in report.overflowed_allocations]
+        assert labels == list(dict.fromkeys(first_seen))

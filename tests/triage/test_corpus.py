@@ -1,0 +1,203 @@
+"""Tests for the persistent witness corpus store."""
+
+import json
+import os
+
+import pytest
+
+from repro.triage.corpus import (
+    CORPUS_FORMAT_VERSION,
+    CorpusStore,
+    WitnessRecord,
+    corpus_fingerprint,
+    merge_records,
+)
+
+
+def make_record(signature="w1-aaaa", **overrides) -> WitnessRecord:
+    base = dict(
+        signature=signature,
+        application="Dillo 2.1",
+        site_label=7,
+        site_tag="png.c@203",
+        provenance=("mul",),
+        field_values={"/header/width": 65536, "/header/height": 65536},
+        requested_size=0,
+        error_type="SIGSEGV/InvalidRead",
+        cve="CVE-2009-2294",
+        enforced_branches=5,
+        relevant_branches=7,
+        minimized=True,
+        removed_fields=1,
+        shrunk_fields=1,
+        original_fields=3,
+    )
+    base.update(overrides)
+    return WitnessRecord(**base)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        record = make_record()
+        rebuilt = WitnessRecord.from_wire(record.to_wire())
+        assert rebuilt == record
+
+    def test_wire_is_json_serializable(self):
+        wire = make_record().to_wire()
+        assert WitnessRecord.from_wire(json.loads(json.dumps(wire))) == make_record()
+
+    def test_missing_optional_fields_default(self):
+        """Adding optional fields must stay backward compatible."""
+        minimal = {
+            "signature": "w1-bbbb",
+            "application": "app",
+            "site_label": 1,
+        }
+        record = WitnessRecord.from_wire(minimal)
+        assert record.field_values == {}
+        assert record.times_seen == 1
+        assert record.status == "fresh"
+        assert record.minimized is False
+
+    def test_matches_site_prefers_tags(self):
+        record = make_record(site_label=7, site_tag="png.c@203")
+        assert record.matches_site(99, "png.c@203")
+        assert not record.matches_site(7, "other.c@1")
+        untagged = make_record(site_tag=None)
+        assert untagged.matches_site(7, "whatever")
+        assert not untagged.matches_site(8, None)
+
+
+class TestMergeRecords:
+    def test_merge_with_none_copies(self):
+        record = make_record()
+        merged = merge_records(None, record)
+        assert merged == record
+        assert merged is not record
+
+    def test_smaller_witness_wins(self):
+        big = make_record(field_values={"a": 10, "b": 20}, times_seen=2)
+        small = make_record(field_values={"a": 10}, times_seen=3)
+        merged = merge_records(big, small)
+        assert merged.field_values == {"a": 10}
+        assert merged.times_seen == 5
+
+    def test_field_rebuildable_beats_raw_input(self):
+        raw = make_record(field_values={"a": 1}, input_hex="00ff")
+        fields = make_record(field_values={"a": 1, "b": 2}, input_hex=None)
+        assert merge_records(raw, fields).input_hex is None
+
+    def test_mismatched_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            merge_records(make_record("w1-aaaa"), make_record("w1-bbbb"))
+
+
+class TestCorpusStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        records = {
+            "w1-aaaa": make_record("w1-aaaa"),
+            "w1-bbbb": make_record("w1-bbbb", site_tag="wav.c@147"),
+        }
+        assert store.save(records) == 2
+        loaded = store.load()
+        assert loaded == records
+
+    def test_load_missing_dir_is_cold(self, tmp_path):
+        assert CorpusStore(str(tmp_path / "nope")).load() == {}
+
+    def test_merge_on_save_converges(self, tmp_path):
+        """Two campaigns saving different witnesses build one corpus."""
+        first = CorpusStore(str(tmp_path))
+        first.save({"w1-aaaa": make_record("w1-aaaa")})
+        second = CorpusStore(str(tmp_path))
+        total = second.save({"w1-bbbb": make_record("w1-bbbb")})
+        assert total == 2
+        assert set(second.load()) == {"w1-aaaa", "w1-bbbb"}
+
+    def test_merge_on_save_accumulates_times_seen(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        assert store.load()["w1-aaaa"].times_seen == 2
+
+    def test_save_without_merge_replaces(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        store.save({"w1-bbbb": make_record("w1-bbbb")}, merge=False)
+        assert set(store.load()) == {"w1-bbbb"}
+
+    def test_version_mismatch_is_cold(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        meta_path = os.path.join(str(tmp_path), "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["version"] = CORPUS_FORMAT_VERSION + 1
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        assert store.load() == {}
+
+    def test_fingerprint_mismatch_is_cold(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        meta_path = os.path.join(str(tmp_path), "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["fingerprint"] = ["something", "else"]
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        assert store.load() == {}
+
+    def test_corrupt_shard_loses_records_not_corpus(self, tmp_path):
+        store = CorpusStore(str(tmp_path), shard_count=1)
+        store.save(
+            {"w1-aaaa": make_record("w1-aaaa"), "w1-bbbb": make_record("w1-bbbb")}
+        )
+        with open(os.path.join(str(tmp_path), "shard-00.json"), "w") as handle:
+            handle.write("{not json")
+        assert store.load() == {}  # the only shard is corrupt; meta survives
+
+    def test_malformed_records_are_skipped(self, tmp_path):
+        store = CorpusStore(str(tmp_path), shard_count=1)
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        shard_path = os.path.join(str(tmp_path), "shard-00.json")
+        with open(shard_path, "r", encoding="utf-8") as handle:
+            entries = json.load(handle)
+        entries.append({"garbage": True})
+        with open(shard_path, "w", encoding="utf-8") as handle:
+            json.dump(entries, handle)
+        assert set(store.load()) == {"w1-aaaa"}
+
+    def test_save_releases_the_lock(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        assert not os.path.exists(os.path.join(str(tmp_path), ".lock"))
+
+    def test_concurrent_saves_lose_no_records(self, tmp_path):
+        """Racing writers serialize on the lock; both record sets survive."""
+        import threading
+
+        store = CorpusStore(str(tmp_path))
+        signatures = [f"w1-{i:04d}" for i in range(12)]
+
+        def save_one(signature):
+            CorpusStore(str(tmp_path)).save({signature: make_record(signature)})
+
+        threads = [
+            threading.Thread(target=save_one, args=(sig,)) for sig in signatures
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(store.load()) == set(signatures)
+
+    def test_meta_records_fingerprint_and_count(self, tmp_path):
+        store = CorpusStore(str(tmp_path))
+        store.save({"w1-aaaa": make_record("w1-aaaa")})
+        with open(os.path.join(str(tmp_path), "meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["version"] == CORPUS_FORMAT_VERSION
+        assert tuple(meta["fingerprint"]) == corpus_fingerprint()
+        assert meta["entries"] == 1

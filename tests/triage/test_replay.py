@@ -1,0 +1,148 @@
+"""Tests for the triage engine: triager pipeline and regression replay."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core import Diode
+from repro.core.detection import ErrorDetector
+from repro.triage.corpus import (
+    STATUS_NO_LONGER_TRIGGERS,
+    STATUS_STILL_TRIGGERS,
+    STATUS_UNKNOWN_APPLICATION,
+    STATUS_UNKNOWN_SITE,
+    WitnessRecord,
+)
+from repro.triage.engine import WitnessTriager, replay_corpus
+from repro.triage.signature import witness_signature
+
+
+@pytest.fixture(scope="module")
+def dillo():
+    return get_application("dillo")
+
+
+@pytest.fixture(scope="module")
+def detector(dillo):
+    return ErrorDetector(dillo.program, dillo.seed_input)
+
+
+@pytest.fixture(scope="module")
+def dillo_records(dillo, detector):
+    """Triaged witness records for every dillo overflow."""
+    result = Diode().analyze(dillo)
+    triager = WitnessTriager(dillo, detector=detector)
+    records = {}
+    for site_result in result.site_results:
+        if site_result.bug_report is None:
+            continue
+        record = triager.triage(site_result.site, site_result.bug_report)
+        assert record is not None
+        records[record.signature] = record
+    return records
+
+
+class TestWitnessTriager:
+    def test_every_dillo_overflow_triages(self, dillo_records):
+        assert len(dillo_records) == 3
+
+    def test_records_carry_provenance_and_signature(self, dillo_records):
+        for signature, record in dillo_records.items():
+            assert record.provenance, record.site_name
+            assert signature == witness_signature(
+                record.application,
+                record.site_label,
+                record.site_tag,
+                record.provenance,
+            )
+
+    def test_same_bug_different_values_same_signature(
+        self, dillo, detector, dillo_records
+    ):
+        """A rediscovery with different field values dedupes by signature."""
+        result = Diode().analyze(dillo)
+        triager = WitnessTriager(dillo, detector=detector, minimize=False)
+        for site_result in result.site_results:
+            if site_result.bug_report is None:
+                continue
+            report = site_result.bug_report
+            doubled = {
+                path: value * 2 if value < 2**31 else value
+                for path, value in report.triggering_field_values.items()
+            }
+            report.triggering_field_values = doubled
+            report.triggering_input = None
+            record = triager.triage(site_result.site, report)
+            if record is None:
+                continue  # the doubled values may genuinely not trigger
+            assert record.signature in dillo_records
+
+    def test_bogus_report_rejected(self, dillo, detector):
+        from repro.core.report import OverflowBugReport
+        from repro.core.sites import identify_target_sites
+
+        sites = identify_target_sites(dillo.program, dillo.seed_input)
+        report = OverflowBugReport(
+            application=dillo.name,
+            target=sites[0].name,
+            cve="New",
+            error_type="None",
+            enforced_branches=0,
+            relevant_branches=0,
+            analysis_seconds=0.0,
+            discovery_seconds=0.0,
+            triggering_field_values={"/header/width": 3},
+            triggering_input=dillo.seed_input,
+        )
+        triager = WitnessTriager(dillo, detector=detector)
+        assert triager.triage(sites[0], report) is None
+
+
+class TestReplayCorpus:
+    def test_fresh_witnesses_still_trigger(self, dillo, dillo_records):
+        records = {sig: rec for sig, rec in dillo_records.items()}
+        report = replay_corpus(records, [dillo])
+        assert len(report.entries) == len(records)
+        assert all(e.status == STATUS_STILL_TRIGGERS for e in report.entries)
+        assert all(
+            record.status == STATUS_STILL_TRIGGERS for record in records.values()
+        )
+        assert report.regressions == []
+
+    def test_stale_witness_reports_no_longer_triggers(self, dillo, dillo_records):
+        signature, record = next(iter(dillo_records.items()))
+        stale = WitnessRecord.from_wire(record.to_wire())
+        stale.field_values = {"/header/width": 2, "/header/height": 2}
+        stale.input_hex = None
+        report = replay_corpus({signature: stale}, [dillo])
+        assert report.entries[0].status == STATUS_NO_LONGER_TRIGGERS
+        assert [e.signature for e in report.regressions] == [signature]
+
+    def test_unknown_site(self, dillo, dillo_records):
+        record = next(iter(dillo_records.values()))
+        ghost = WitnessRecord.from_wire(record.to_wire())
+        ghost.site_tag = "gone.c@1"
+        ghost.site_label = -12345
+        report = replay_corpus({ghost.signature: ghost}, [dillo])
+        assert report.entries[0].status == STATUS_UNKNOWN_SITE
+
+    def test_unknown_application_marked_when_replaying_everything(
+        self, dillo, dillo_records
+    ):
+        record = next(iter(dillo_records.values()))
+        alien = WitnessRecord.from_wire(record.to_wire())
+        alien.application = "Not An App 1.0"
+        report = replay_corpus({alien.signature: alien}, [dillo], mark_missing=True)
+        assert report.entries[0].status == STATUS_UNKNOWN_APPLICATION
+
+    def test_filtered_replay_leaves_other_apps_untouched(
+        self, dillo, dillo_records
+    ):
+        record = next(iter(dillo_records.values()))
+        alien = WitnessRecord.from_wire(record.to_wire())
+        alien.application = "Not An App 1.0"
+        original_status = alien.status
+        report = replay_corpus(
+            {alien.signature: alien}, [dillo], mark_missing=False
+        )
+        assert report.entries == []
+        assert alien.status == original_status

@@ -1,0 +1,48 @@
+"""Tests for canonical witness signatures."""
+
+from repro.triage.signature import SIGNATURE_VERSION, site_identity, witness_signature
+
+
+class TestSiteIdentity:
+    def test_prefers_tag(self):
+        assert site_identity(203, "png.c@203") == "png.c@203"
+
+    def test_falls_back_to_label(self):
+        assert site_identity(17, None) == "alloc@17"
+
+
+class TestWitnessSignature:
+    def test_deterministic(self):
+        a = witness_signature("Dillo 2.1", 203, "png.c@203", ("mul",))
+        b = witness_signature("Dillo 2.1", 203, "png.c@203", ("mul",))
+        assert a == b
+
+    def test_versioned_prefix(self):
+        signature = witness_signature("app", 1, None, ())
+        assert signature.startswith(f"w{SIGNATURE_VERSION}-")
+
+    def test_provenance_order_and_duplicates_do_not_matter(self):
+        a = witness_signature("app", 1, "t", ("mul", "add"))
+        b = witness_signature("app", 1, "t", ("add", "mul", "add"))
+        assert a == b
+
+    def test_distinct_provenance_distinct_signature(self):
+        a = witness_signature("app", 1, "t", ("mul",))
+        b = witness_signature("app", 1, "t", ("add",))
+        assert a != b
+
+    def test_distinct_application_distinct_signature(self):
+        a = witness_signature("app-a", 1, "t", ("mul",))
+        b = witness_signature("app-b", 1, "t", ("mul",))
+        assert a != b
+
+    def test_distinct_site_distinct_signature(self):
+        a = witness_signature("app", 1, "f.c@10", ("mul",))
+        b = witness_signature("app", 1, "f.c@20", ("mul",))
+        assert a != b
+
+    def test_tagged_sites_ignore_label_renumbering(self):
+        """Tags are the stable identity; labels may shift across model edits."""
+        a = witness_signature("app", 10, "f.c@10", ("mul",))
+        b = witness_signature("app", 99, "f.c@10", ("mul",))
+        assert a == b
