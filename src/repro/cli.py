@@ -197,6 +197,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.no_incremental:
         config.diode.solver.enable_sessions = False
         config.diode.solver.enable_decomposition = False
+    if args.no_core_guidance:
+        config.diode.solver.enable_unsat_cores = False
     result = CampaignEngine(config).run()
 
     if args.json:
@@ -205,12 +207,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "backend": result.backend,
             "jobs": result.jobs,
             "incremental": not args.no_incremental,
+            "core_guidance": not args.no_core_guidance,
             "cache_enabled": result.cache_enabled,
             "unit_count": result.unit_count,
             "wall_seconds": round(result.wall_seconds, 3),
             "cache_stats": (
                 result.cache_stats.as_dict() if result.cache_stats else None
             ),
+            "solver": result.solver_telemetry,
             "cache_store": (
                 {
                     "dir": args.cache_dir,
@@ -284,6 +288,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         line += "; solver cache: disabled"
     print(line)
+    if result.solver_telemetry is not None:
+        telemetry = result.solver_telemetry
+        print(
+            "solver sessions: "
+            f"{int(telemetry.get('session_checks', 0))} checks, "
+            f"{int(telemetry.get('sessions_reused', 0))} reused across "
+            "observations; unsat cores: "
+            f"{int(telemetry.get('cores_extracted', 0))} accumulated, "
+            f"{int(telemetry.get('core_pruned_candidates', 0))} candidate "
+            "queries pruned"
+        )
     if args.cache_dir:
         print(
             f"cache store {args.cache_dir}: warm-started {result.cache_loaded} "
@@ -404,7 +419,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         metavar="N",
-        help="worker threads, >= 1 (default: one per CPU; 1 = serial fallback)",
+        help=(
+            "workers for the chosen backend, >= 1 (default: one per CPU; "
+            "1 degrades the thread backend to the serial schedule)"
+        ),
     )
     campaign.add_argument(
         "--backend",
@@ -429,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(the fresh-query reference path; classification parity with "
             "the incremental default is enforced by the test and benchmark "
             "gates)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-core-guidance",
+        action="store_true",
+        help=(
+            "disable UNSAT-core branch guidance in the enforcement loop "
+            "(cores prune candidate queries subsumed by an already-proved "
+            "infeasible subset; classifications are identical either way — "
+            "enforced by benchmarks/bench_enforcement.py)"
         ),
     )
     campaign.add_argument(

@@ -80,6 +80,7 @@ from repro.sched import (
 )
 from repro.smt.cache import SolverCache, SolverCacheStats, simplify_memo
 from repro.smt.cachestore import CacheStore
+from repro.smt.solver import TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # Imported lazily at call time: repro.triage imports repro.core
@@ -185,6 +186,12 @@ class CampaignResult:
     corpus_saved: int = 0
     #: Sites answered by replaying a corpus witness instead of enforcement.
     skipped_known: int = 0
+    #: Delta of the process-wide solver telemetry
+    #: (:data:`repro.smt.solver.TELEMETRY`) across the run: bit-blast/CDCL
+    #: effort plus the core-guidance counters (cores extracted, candidates
+    #: pruned, sessions reused).  Counts this process only — the
+    #: ``process`` backend's workers solve in their own interpreters.
+    solver_telemetry: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> List[Dict[str, int]]:
@@ -259,6 +266,7 @@ class CampaignEngine:
             corpus_store = CorpusStore(self.config.corpus_dir)
             corpus_records = corpus_store.load()
 
+        telemetry_mark = TELEMETRY.snapshot()
         with simplify_memo(enabled=self.config.use_cache):
             contexts = self._build_contexts()
             skipped: Dict["Slot", SiteResult] = {}
@@ -288,6 +296,10 @@ class CampaignEngine:
             )
             site_results = get_backend(backend_name).run_units(request)
             site_results.update(skipped)
+        telemetry = {
+            key: round(value - telemetry_mark.get(key, 0), 6)
+            for key, value in TELEMETRY.snapshot().items()
+        }
 
         if store is not None and self.config.save_cache:
             saved = store.save(cache, fingerprint)
@@ -330,6 +342,7 @@ class CampaignEngine:
             corpus_loaded=len(corpus_records),
             corpus_saved=corpus_saved,
             skipped_known=len(skipped),
+            solver_telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------

@@ -24,7 +24,12 @@ The solver is *incremental* in the MiniSat sense:
   First-UIP learned clauses resolve only real clauses from the database
   (assumption literals are decisions and are never resolved away), so every
   retained clause is implied by the formula itself and stays sound for
-  later calls with different assumptions.
+  later calls with different assumptions;
+* an UNSAT answer under assumptions carries a final-conflict **UNSAT
+  core** (:attr:`SatResult.core`): the subset of assumption literals the
+  failure actually depended on, so callers can learn *which* pushed
+  constraints are jointly infeasible rather than just that the whole
+  conjunction is.
 
 The per-call conflict budget (``max_conflicts``) bounds the conflicts of
 each :meth:`solve` call separately, matching the per-query budget of the
@@ -59,6 +64,13 @@ class SatResult:
     decisions: int = 0
     propagations: int = 0
     restarts: int = 0
+    #: Final-conflict UNSAT core: a subset of this call's assumption
+    #: literals that is jointly unsatisfiable with the formula.  ``None``
+    #: unless the status is UNSAT; an *empty* tuple means the formula is
+    #: unsatisfiable on its own, with no assumption involved.  The core is
+    #: sound but not guaranteed minimal (it is whatever the final-conflict
+    #: reason graph reached, MiniSat's ``analyzeFinal``).
+    core: Optional[Tuple[int, ...]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -389,18 +401,21 @@ class CDCLSolver:
         pseudo-decisions below the real decision levels, so neither they nor
         anything propagated from them survives into the next call.  An
         assumption literal that is (or becomes) false at a lower level makes
-        the call return UNSAT without poisoning the clause database.
+        the call return UNSAT without poisoning the clause database — and
+        carries the final-conflict core over assumption literals (see
+        :attr:`SatResult.core`; an UNSAT with an empty core means the
+        formula itself is unsatisfiable).
         """
         self._backtrack(0)
         self._sync_with_cnf()
         marks = (self.conflicts, self.decisions, self.propagations, self.restarts)
         if self._contradiction:
-            return self._result(SatStatus.UNSAT, marks=marks)
+            return self._result(SatStatus.UNSAT, marks=marks, core=())
 
         conflict = self._propagate()
         if conflict is not None:
             self._contradiction = True
-            return self._result(SatStatus.UNSAT, marks=marks)
+            return self._result(SatStatus.UNSAT, marks=marks, core=())
 
         assumptions = [int(lit) for lit in assumptions]
         restart_threshold = 100
@@ -413,7 +428,7 @@ class CDCLSolver:
                 self.conflicts += 1
                 if self._decision_level() == 0:
                     self._contradiction = True
-                    return self._result(SatStatus.UNSAT, marks=marks)
+                    return self._result(SatStatus.UNSAT, marks=marks, core=())
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
                 self._learn(learned)
@@ -440,7 +455,11 @@ class CDCLSolver:
                 literal = assumptions[self._decision_level()]
                 value = self._value(literal)
                 if value is False:
-                    return self._result(SatStatus.UNSAT, marks=marks)
+                    return self._result(
+                        SatStatus.UNSAT,
+                        marks=marks,
+                        core=self._analyze_final(literal),
+                    )
                 self.trail_lim.append(len(self.trail))
                 if value is None:
                     self._assign(literal, None)
@@ -456,6 +475,37 @@ class CDCLSolver:
             self.trail_lim.append(len(self.trail))
             phase = self.saved_phase[variable]
             self._assign(variable if phase else -variable, None)
+
+    def _analyze_final(self, failed: int) -> Tuple[int, ...]:
+        """Explain a falsified assumption as a core over assumption literals.
+
+        Called when establishing assumption ``failed`` found it already
+        false.  Walks the trail backwards from ``-failed`` through reason
+        clauses (MiniSat's ``analyzeFinal``): every reached literal assigned
+        with no reason above level 0 is an assumption pseudo-decision (real
+        decisions cannot exist yet — assumptions are established before any
+        branching), and the collected assumptions plus ``failed`` itself are
+        jointly unsatisfiable with the formula.  Level-0 assignments are
+        implied by the formula alone and contribute nothing.
+        """
+        core = {failed}
+        if self.level[abs(failed)] == 0:
+            return tuple(sorted(core))
+        pending = {abs(failed)}
+        for trail_literal in reversed(self.trail):
+            var = abs(trail_literal)
+            if var not in pending:
+                continue
+            pending.discard(var)
+            reason = self.reason[var]
+            if reason is None:
+                core.add(trail_literal)
+                continue
+            for clause_literal in reason.literals:
+                other = abs(clause_literal)
+                if other != var and self.level[other] > 0:
+                    pending.add(other)
+        return tuple(sorted(core))
 
     def _learn(self, learned: List[int]) -> None:
         if len(learned) == 1:
@@ -478,6 +528,7 @@ class CDCLSolver:
         status: str,
         assignment: Optional[Dict[int, bool]] = None,
         marks: Tuple[int, int, int, int] = (0, 0, 0, 0),
+        core: Optional[Tuple[int, ...]] = None,
     ) -> SatResult:
         return SatResult(
             status=status,
@@ -486,6 +537,7 @@ class CDCLSolver:
             decisions=self.decisions - marks[1],
             propagations=self.propagations - marks[2],
             restarts=self.restarts - marks[3],
+            core=core,
         )
 
 

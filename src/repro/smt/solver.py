@@ -35,6 +35,14 @@ queries:
   :class:`~repro.smt.sat.CDCLSolver`, so only delta conjuncts are blasted
   and learned clauses carry over between checks; per-check conjuncts are
   asserted through CDCL assumptions, never permanent units.
+
+UNSAT verdicts additionally carry an **UNSAT core**
+(:attr:`SolverResult.unsat_core`, ``enable_unsat_cores``): a subset of
+the query's conjuncts that is already jointly infeasible — precise
+final-conflict cores from a session's assumption-based CDCL, the UNSAT
+component's conjuncts under decomposition, the full conjunction
+otherwise.  The enforcement loop accumulates cores per target site and
+prunes candidate queries subsumed by one (see ``docs/solver.md``).
 """
 
 from __future__ import annotations
@@ -74,6 +82,16 @@ class SolverResult:
     reason: str = ""
     elapsed_seconds: float = 0.0
     stages_tried: Tuple[str, ...] = ()
+    #: For UNSAT results (with ``enable_unsat_cores``): a subset of the
+    #: query's conjuncts whose conjunction is already unsatisfiable, in the
+    #: caller's term space.  The core is sound but not necessarily minimal:
+    #: a session's assumption-based CDCL yields the final-conflict subset,
+    #: an UNSAT connected component yields that component's conjuncts, and
+    #: the remaining UNSAT layers fall back to the full conjunct list.
+    #: ``None`` when the status is not UNSAT, when cores are disabled, or
+    #: when the verdict came from a cache hit (cores are per-derivation and
+    #: are never cached).
+    unsat_core: Optional[Tuple[Term, ...]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -104,6 +122,16 @@ class SolverConfig:
     #: Let callers that hold a :class:`SolverSession` drive the incremental
     #: push/pop path (the enforcement loop checks this knob).
     enable_sessions: bool = True
+    #: Attach UNSAT cores (:attr:`SolverResult.unsat_core`) to UNSAT
+    #: verdicts and let the enforcement loop use them to prune candidate
+    #: branch queries whose conjunct set is subsumed by an accumulated core
+    #: (``repro campaign --no-core-guidance`` disables this).
+    enable_unsat_cores: bool = True
+    #: Reuse one :class:`SolverSession` across all of a target site's
+    #: observations (the enforcement loop pops back to an empty stack
+    #: between observations) instead of opening a fresh session — and
+    #: re-blasting the shared constraint prefix — per observation.
+    reuse_sessions: bool = True
 
     def fingerprint(self) -> Tuple:
         """The knobs a cached verdict depends on.
@@ -131,6 +159,8 @@ class SolverConfig:
             sampler.perturbation_attempts,
             self.enable_decomposition,
             self.enable_sessions,
+            self.enable_unsat_cores,
+            self.reuse_sessions,
         )
 
 
@@ -156,12 +186,30 @@ class SolverTelemetry:
             self.cdcl_conflicts = 0
             self.cdcl_decisions = 0
             self.cdcl_propagations = 0
+            self.cores_extracted = 0
+            self.core_pruned_candidates = 0
+            self.sessions_reused = 0
 
     def record_query(self, session: bool) -> None:
         with self._lock:
             self.queries += 1
             if session:
                 self.session_checks += 1
+
+    def record_core_extracted(self) -> None:
+        """An enforcement loop accumulated a new UNSAT core."""
+        with self._lock:
+            self.cores_extracted += 1
+
+    def record_core_pruned(self) -> None:
+        """An enforcement candidate query was answered by core subsumption."""
+        with self._lock:
+            self.core_pruned_candidates += 1
+
+    def record_session_reuse(self) -> None:
+        """A per-site session was reused for another observation."""
+        with self._lock:
+            self.sessions_reused += 1
 
     def record_bitblast(self, elapsed: float, result: Optional[SatResult]) -> None:
         with self._lock:
@@ -182,11 +230,41 @@ class SolverTelemetry:
                 "cdcl_conflicts": self.cdcl_conflicts,
                 "cdcl_decisions": self.cdcl_decisions,
                 "cdcl_propagations": self.cdcl_propagations,
+                "cores_extracted": self.cores_extracted,
+                "core_pruned_candidates": self.core_pruned_candidates,
+                "sessions_reused": self.sessions_reused,
             }
 
 
 #: The process-wide telemetry instance (see :class:`SolverTelemetry`).
 TELEMETRY = SolverTelemetry()
+
+
+def _translate_core(
+    core: Sequence[Term],
+    canonical_conjuncts: Sequence[Term],
+    conjuncts: Sequence[Term],
+) -> Optional[Tuple[Term, ...]]:
+    """Map an UNSAT core from canonical space back to the caller's terms.
+
+    Canonicalization preserves positions (conjunct ``i`` rewrites to
+    canonical conjunct ``i``), so each canonical core term maps back to the
+    first original conjunct that produced it (cores are sets — when two
+    conjuncts canonicalize identically, naming either one is sound).
+    Returns ``None`` if a core term has no preimage (cannot happen through
+    the positional pipeline; guarded so a plumbing regression degrades to
+    "no core" instead of an unsound one).
+    """
+    back: Dict[Term, Term] = {}
+    for original, canonical in zip(conjuncts, canonical_conjuncts):
+        back.setdefault(canonical, original)
+    translated: List[Term] = []
+    for term in core:
+        original = back.get(term)
+        if original is None:
+            return None
+        translated.append(original)
+    return tuple(dict.fromkeys(translated))
 
 #: Signature of the complete-backend hook: conjuncts -> (status, model).
 BitblastFn = Callable[[Sequence[Term]], Tuple[str, Optional[Model]]]
@@ -211,18 +289,25 @@ class _TrackedBackend:
     treated as tainted) and propagates through nested wrappers, so a
     component-level tainted call also marks the enclosing whole-query
     wrapper.
+
+    The wrapper also forwards the hook's per-call ``last_call_core`` (the
+    UNSAT-core terms of a session's assumption-based CDCL, in the space of
+    the conjuncts passed to that call), so core extraction survives the
+    cache/decomposition plumbing between the session and the portfolio.
     """
 
-    __slots__ = ("fn", "used", "last_call_tainted")
+    __slots__ = ("fn", "used", "last_call_tainted", "last_call_core")
 
     def __init__(self, fn: BitblastFn) -> None:
         self.fn = fn
         self.used = False
         self.last_call_tainted = False
+        self.last_call_core: Optional[Tuple[Term, ...]] = None
 
     def __call__(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
         result = self.fn(conjuncts)
         self.last_call_tainted = getattr(self.fn, "last_call_tainted", True)
+        self.last_call_core = getattr(self.fn, "last_call_core", None)
         self.used = self.used or self.last_call_tainted
         return result
 
@@ -279,7 +364,12 @@ class PortfolioSolver:
         )
 
     def open_session(self) -> "SolverSession":
-        """Create an incremental push/pop session backed by this solver."""
+        """Create an incremental push/pop session backed by this solver.
+
+        Sessions are classification-transparent (same statuses as
+        :meth:`check`, possibly different models) and not thread-safe;
+        see :class:`SolverSession` for the full contract.
+        """
         return SolverSession(self)
 
     def _check_session(self, session: "SolverSession") -> SolverResult:
@@ -422,6 +512,13 @@ class PortfolioSolver:
         )
         if canonical_result.is_sat:
             result.model = system.translate_model(canonical_result.model)
+        elif canonical_result.unsat_core is not None:
+            # Canonicalization is positional (conjunct i renames to
+            # canonical conjunct i), so a core over canonical terms maps
+            # straight back to the caller's conjuncts.
+            result.unsat_core = _translate_core(
+                canonical_result.unsat_core, system.conjuncts, conjuncts
+            )
         return result
 
     def _config_fingerprint(self) -> Tuple:
@@ -465,7 +562,13 @@ class PortfolioSolver:
                 if stage not in stages:
                     stages.append(stage)
             if result.is_unsat:
-                return SolverResult(SolverStatus.UNSAT, reason=result.reason)
+                # The UNSAT component's core (or, failing that, its whole
+                # conjunct list) is already a core of the whole query.
+                return SolverResult(
+                    SolverStatus.UNSAT,
+                    reason=result.reason,
+                    unsat_core=result.unsat_core or tuple(component.conjuncts),
+                )
             if not result.is_sat:
                 # Keep scanning: an UNSAT in a later component still decides
                 # the whole query even when this one timed out.
@@ -533,7 +636,14 @@ class PortfolioSolver:
         stages.append("intervals")
         feasible, bounds = propagate_intervals(conjuncts, widths)
         if not feasible:
-            return SolverResult(SolverStatus.UNSAT, reason="interval propagation")
+            # The contractor does not explain which conjuncts emptied the
+            # box; the full (component-granularity) conjunct list is still
+            # a sound core.
+            return SolverResult(
+                SolverStatus.UNSAT,
+                reason="interval propagation",
+                unsat_core=tuple(conjuncts),
+            )
         point_model = self._point_model_if_determined(variables, bounds)
         if point_model is not None and all(
             satisfies(c, point_model) for c in conjuncts
@@ -574,7 +684,16 @@ class PortfolioSolver:
                     SolverStatus.SAT, model=restricted, reason="bitblast"
                 )
             if status == SatStatus.UNSAT:
-                return SolverResult(SolverStatus.UNSAT, reason="bitblast")
+                core = (
+                    getattr(bitblast_fn, "last_call_core", None)
+                    if bitblast_fn is not None
+                    else None
+                )
+                return SolverResult(
+                    SolverStatus.UNSAT,
+                    reason="bitblast",
+                    unsat_core=core or tuple(conjuncts),
+                )
 
         return SolverResult(SolverStatus.UNKNOWN, reason="portfolio exhausted")
 
@@ -589,6 +708,12 @@ class PortfolioSolver:
         self.stage_hits[result.reason] = self.stage_hits.get(result.reason, 0) + 1
         if result.is_sat and result.model is None:
             raise AssertionError("SAT result without a model")
+        # Cores are an UNSAT-only, opt-out feature; strip anything a lower
+        # layer attached when the knob is off (or on a non-UNSAT status).
+        if result.unsat_core is not None and not (
+            result.is_unsat and self.config.enable_unsat_cores
+        ):
+            result.unsat_core = None
         return result
 
     @staticmethod
@@ -597,7 +722,11 @@ class PortfolioSolver:
         for constraint in constraints:
             if constraint.kind is TermKind.BOOL_CONST:
                 if not constraint.value:
-                    return SolverResult(SolverStatus.UNSAT, reason="simplify")
+                    return SolverResult(
+                        SolverStatus.UNSAT,
+                        reason="simplify",
+                        unsat_core=(constraint,),
+                    )
             else:
                 all_true = False
         if all_true:
@@ -704,6 +833,11 @@ class SolverSession:
         #: the incremental CDCL decided it, ``False`` when a cheap layer
         #: or one of the fresh-solve fallbacks did.
         self.last_call_tainted = False
+        #: UNSAT core of the most recent complete-backend call, as a subset
+        #: of the conjunct terms that call received (``None`` unless the
+        #: incremental CDCL returned UNSAT with cores enabled).  Read by
+        #: the portfolio right after the call, like ``last_call_tainted``.
+        self.last_call_core: Optional[Tuple[Term, ...]] = None
         self._conjuncts: List[Term] = []
         self._frames: List[int] = []
         self._blaster: Optional[BitBlaster] = None
@@ -744,7 +878,16 @@ class SolverSession:
         del self._conjuncts[self._frames.pop():]
 
     def check(self) -> SolverResult:
-        """Decide the conjunction of every pushed constraint."""
+        """Decide the conjunction of every pushed constraint.
+
+        Parity invariant: the status is identical to what
+        :meth:`PortfolioSolver.check` would return for the same conjuncts
+        — only the model may differ.  An UNSAT result carries
+        :attr:`SolverResult.unsat_core` (a subset of
+        :attr:`conjuncts`) when cores are enabled; verdicts the
+        incremental CDCL derives are answered but never stored in the
+        shared cache (they depend on this session's history).
+        """
         self.check_count += 1
         return self.solver._check_session(self)
 
@@ -764,6 +907,7 @@ class SolverSession:
         a decidable query to UNKNOWN.
         """
         self.last_call_tainted = False
+        self.last_call_core = None
         if self._width_clash(conjuncts):
             return self.solver._bitblast(conjuncts)
         started = time.perf_counter()
@@ -771,7 +915,7 @@ class SolverSession:
         try:
             if self._blaster is None:
                 self._blaster = BitBlaster()
-            assumptions = [self._blaster.literal_for(c) for c in conjuncts]
+            assumptions, by_literal = self._blaster.assumptions_for(conjuncts)
             if self._cdcl is None:
                 self._cdcl = CDCLSolver(
                     self._blaster.cnf, max_conflicts=config.bitblast_max_conflicts
@@ -793,6 +937,15 @@ class SolverSession:
         self.last_call_tainted = True
         if result.status == SatStatus.SAT:
             return SatStatus.SAT, self._blaster.extract_model(result)
+        if result.core and config.enable_unsat_cores:
+            # Lift the assumption-literal core back to terms.  A literal
+            # shared by several (hash-consed-identical after blasting)
+            # conjuncts names all of them: asserting a superset of an
+            # unsatisfiable set stays unsatisfiable.
+            lifted: List[Term] = []
+            for literal in result.core:
+                lifted.extend(by_literal.get(literal, ()))
+            self.last_call_core = tuple(dict.fromkeys(lifted))
         return result.status, None
 
     def _width_clash(self, conjuncts: Sequence[Term]) -> bool:

@@ -1,0 +1,97 @@
+"""Fail on broken intra-repository links in the Markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and validates every
+*repository-local* target:
+
+* relative file links (``docs/solver.md``, ``../README.md``) must resolve to
+  an existing file or directory, from the linking file's own location;
+* intra-document anchors (``#the-shared-solver-cache``, alone or after a
+  file target) must match a heading in the target document, using the
+  GitHub slugging convention (lowercase, punctuation stripped, spaces to
+  hyphens);
+* external URLs (``http://``, ``https://``, ``mailto:``) are *not* fetched —
+  this checker guards repository structure, not the network.
+
+Exit status is the number of broken links (0 = pass), so CI can run it
+directly::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: ``[text](target)`` links, ignoring images' leading ``!`` (images are
+#: checked identically — a broken image path is just as broken).
+_LINK = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip punctuation, hyphenate."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(document: Path) -> set:
+    content = document.read_text(encoding="utf-8")
+    return {_slug(match.group(1)) for match in _HEADING.finditer(content)}
+
+
+def check_file(document: Path, root: Path) -> List[Tuple[str, str]]:
+    """Return ``(target, problem)`` pairs for every broken link."""
+    problems: List[Tuple[str, str]] = []
+    content = document.read_text(encoding="utf-8")
+    for match in _LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (document.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                problems.append((target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                problems.append((target, "file does not exist"))
+                continue
+        else:
+            resolved = document
+        if anchor and resolved.suffix == ".md":
+            if _slug(anchor) not in _anchors(resolved):
+                problems.append((target, f"no heading matches #{anchor}"))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    documents = sorted(
+        [root / "README.md"] + list((root / "docs").glob("*.md"))
+    )
+    broken = 0
+    for document in documents:
+        if not document.exists():
+            print(f"MISSING: {document.relative_to(root)}")
+            broken += 1
+            continue
+        for target, problem in check_file(document, root):
+            print(f"BROKEN: {document.relative_to(root)}: {target} ({problem})")
+            broken += 1
+    checked = ", ".join(str(d.relative_to(root)) for d in documents)
+    if broken:
+        print(f"{broken} broken link(s) across {checked}")
+    else:
+        print(f"all intra-repo links OK across {checked}")
+    return broken
+
+
+if __name__ == "__main__":
+    sys.exit(main())
