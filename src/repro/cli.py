@@ -199,6 +199,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         config.diode.solver.enable_decomposition = False
     if args.no_core_guidance:
         config.diode.solver.enable_unsat_cores = False
+    if args.no_cnf_skeletons:
+        config.diode.solver.enable_cnf_skeletons = False
     result = CampaignEngine(config).run()
 
     if args.json:
@@ -208,6 +210,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "jobs": result.jobs,
             "incremental": not args.no_incremental,
             "core_guidance": not args.no_core_guidance,
+            "cnf_skeletons": not args.no_cnf_skeletons,
             "cache_enabled": result.cache_enabled,
             "unit_count": result.unit_count,
             "wall_seconds": round(result.wall_seconds, 3),
@@ -457,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(cores prune candidate queries subsumed by an already-proved "
             "infeasible subset; classifications are identical either way — "
             "enforced by benchmarks/bench_enforcement.py)"
+        ),
+    )
+    campaign.add_argument(
+        "--no-cnf-skeletons",
+        action="store_true",
+        help=(
+            "disable reuse of persisted blasted-CNF skeletons (the warm "
+            "bitblast path; a stored skeleton rebuilds the exact CNF a "
+            "fresh Tseitin translation would produce, so classifications "
+            "are identical either way)"
         ),
     )
     campaign.add_argument(

@@ -10,11 +10,12 @@ term would rebuild as a distinct, non-interned object and silently break
   per-application collaborators from the registry short name, lazily and
   at most once per ⟨worker, application⟩ pair;
 * **back**: :class:`SiteResultPayload` records (classification value, bug
-  report, timing — all term-free) plus the worker cache's *new* entries in
-  the :mod:`repro.smt.cachestore` wire format — whole-query verdicts *and*
-  component-granularity verdicts, each tagged with its kind — which the
-  parent merges into the campaign cache so a persistent store (or a later
-  run) sees every worker's verdicts at both granularities.  When the
+  report, timing — all term-free) plus the worker cache's *new* artifacts
+  in the :mod:`repro.smt.cachestore` wire format — whole-query verdicts,
+  component-granularity verdicts, canonical UNSAT cores and blasted-CNF
+  skeletons, each tagged with its kind — which the parent merges into the
+  campaign cache so a persistent store (or a later run) sees every
+  worker's derivations across all four kinds.  When the
   campaign enables triage, each unit's result also carries a wire-form
   :class:`~repro.triage.corpus.WitnessRecord` (validated, minimized,
   signed *in the worker*, which parallelizes minimization's concrete
@@ -45,6 +46,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.report import OverflowBugReport, SiteResult
     from repro.core.sites import TargetSite
     from repro.sched.context import ApplicationContext
+
+#: Width of :meth:`SolverCache.stats_snapshot` tuples (imported lazily in
+#: workers, so the width is mirrored here; asserted against the class when
+#: a worker builds its state).
+_STATS_FIELDS = 11
 
 
 @dataclass
@@ -101,10 +107,12 @@ class _WorkerState:
         self.triage = triage
         self.minimize_witnesses = minimize_witnesses
         self.triagers: Dict[int, object] = {}
-        #: ``(kind, key)`` pairs already shipped to the parent — whole-query
-        #: and component entries travel through the same delta stream.
+        #: ``(kind, key)`` pairs already shipped to the parent — all four
+        #: artifact kinds (whole-query, component, UNSAT core, CNF
+        #: skeleton) travel through the same delta stream.
         self.exported_keys: set = set()
-        self.stats_mark: Tuple[int, ...] = (0,) * 7
+        assert SolverCache.STATS_FIELDS == _STATS_FIELDS
+        self.stats_mark: Tuple[int, ...] = (0,) * _STATS_FIELDS
         if self.cache is not None:
             # The memo stays enabled for the worker's whole lifetime; the
             # process dies with the pool, so no disable pairing is needed.
@@ -180,7 +188,7 @@ def _worker_run(
     )
 
     delta: List[dict] = []
-    stats_delta: Tuple[int, ...] = (0,) * 7
+    stats_delta: Tuple[int, ...] = (0,) * _STATS_FIELDS
     if state.cache is not None:
         from repro.smt.cachestore import export_wire_entries
 

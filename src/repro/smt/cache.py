@@ -108,6 +108,12 @@ class SolverCacheStats:
     component_misses: int = 0
     component_stores: int = 0
     component_evictions: int = 0
+    #: Queries answered UNSAT because a stored canonical core subsumed them.
+    core_hits: int = 0
+    core_stores: int = 0
+    #: Bit-blasts skipped because a stored CNF skeleton was replayed.
+    cnf_hits: int = 0
+    cnf_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -137,6 +143,10 @@ class SolverCacheStats:
             "component_stores": self.component_stores,
             "component_evictions": self.component_evictions,
             "component_hit_rate": round(self.component_hit_rate(), 4),
+            "core_hits": self.core_hits,
+            "core_stores": self.core_stores,
+            "cnf_hits": self.cnf_hits,
+            "cnf_stores": self.cnf_stores,
         }
 
 
@@ -149,9 +159,14 @@ class SolverCache:
     coordination beyond the internal lock is needed.
     """
 
-    #: Entry kinds: whole-query verdicts and connected-component verdicts.
+    #: Entry kinds: whole-query verdicts, connected-component verdicts,
+    #: canonical UNSAT cores and blasted-CNF skeletons.  The kind strings
+    #: double as the unified store's record namespaces
+    #: (:mod:`repro.store`).
     KIND_QUERY = "query"
     KIND_COMPONENT = "component"
+    KIND_CORE = "core"
+    KIND_CNF = "cnf"
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
         self._entries: Dict[Tuple, CachedVerdict] = {}
@@ -167,6 +182,21 @@ class SolverCache:
         # of a component in any whole query lands on one shared key.
         self._component_entries: Dict[Tuple, CachedVerdict] = {}
         self._component_conjuncts: Dict[Tuple, Tuple[Term, ...]] = {}
+        # Canonical UNSAT cores, per fingerprint: frozenset of the core
+        # conjuncts' intern ids -> the core conjunct tuple.  A core is a
+        # semantic certificate ("these canonical conjuncts are jointly
+        # infeasible"), so any canonical query whose conjunct-id set is a
+        # superset is UNSAT without solving.  Small (a handful of terms
+        # each), so unbounded.
+        self._cores: Dict[Tuple, Dict[frozenset, Tuple[Term, ...]]] = {}
+        # Blasted-CNF skeletons keyed by the *ordered* canonical conjunct
+        # ids: the pure Tseitin translation of one canonical component,
+        # persistable even for queries whose verdict (UNKNOWN) never is —
+        # a warm run re-solves those but skips the translation.  The
+        # stored object is a :class:`repro.smt.bitblast.CnfSkeleton`;
+        # kept opaque here so this module stays solver-agnostic.
+        self._cnf_skeletons: Dict[Tuple[int, ...], object] = {}
+        self._cnf_conjuncts: Dict[Tuple[int, ...], Tuple[Term, ...]] = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.stats = SolverCacheStats()
@@ -184,6 +214,14 @@ class SolverCache:
     def component_count(self) -> int:
         """Number of component-granularity entries currently stored."""
         return len(self._component_entries)
+
+    def core_count(self) -> int:
+        """Number of stored canonical UNSAT cores (all fingerprints)."""
+        return sum(len(table) for table in self._cores.values())
+
+    def cnf_count(self) -> int:
+        """Number of stored blasted-CNF skeletons."""
+        return len(self._cnf_skeletons)
 
     # ------------------------------------------------------------------
     def canonicalize(
@@ -296,6 +334,111 @@ class SolverCache:
         conjunct_table[key] = tuple(conjuncts)
         return True
 
+    # ------------------------------------------------------------------
+    # Canonical UNSAT cores (kind "core")
+    # ------------------------------------------------------------------
+    def add_core(
+        self, fingerprint: Tuple, conjuncts: Sequence[Term], merged: bool = False
+    ) -> bool:
+        """Record a canonical UNSAT core; returns whether it was new.
+
+        ``conjuncts`` must be canonical terms (a subset of some canonical
+        system's conjuncts).  Cores are per fingerprint — like every
+        cached verdict, the certificate is only consulted for queries
+        canonicalized under the same solver configuration.  ``merged``
+        selects which counter the insert books (a local derivation vs an
+        adoption from a store or a worker delta).
+        """
+        conjuncts = tuple(conjuncts)
+        ids = frozenset(term._id for term in conjuncts)
+        if not ids:
+            return False
+        with self._lock:
+            table = self._cores.setdefault(fingerprint, {})
+            if ids in table:
+                return False
+            table[ids] = conjuncts
+            if merged:
+                self.stats.merged += 1
+            else:
+                self.stats.core_stores += 1
+            return True
+
+    def match_core(self, system: CanonicalSystem) -> Optional[Tuple[Term, ...]]:
+        """A stored core subsumed by ``system``'s conjuncts, or ``None``.
+
+        Subsumption is set inclusion over intern ids: asserting a superset
+        of a jointly infeasible conjunct set stays infeasible, so a match
+        answers the query UNSAT without solving.
+        """
+        ids = {term._id for term in system.conjuncts}
+        with self._lock:
+            table = self._cores.get(system.key[0])
+            if table:
+                for core_ids, core_conjuncts in table.items():
+                    if core_ids <= ids:
+                        self.stats.core_hits += 1
+                        return core_conjuncts
+        return None
+
+    def cores_snapshot(self) -> List[Tuple[Tuple, Tuple[Term, ...]]]:
+        """Every stored core as ``(fingerprint, conjuncts)``."""
+        with self._lock:
+            return [
+                (fingerprint, conjuncts)
+                for fingerprint, table in self._cores.items()
+                for conjuncts in table.values()
+            ]
+
+    # ------------------------------------------------------------------
+    # Blasted-CNF skeletons (kind "cnf")
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cnf_key(conjuncts: Sequence[Term]) -> Tuple[int, ...]:
+        return tuple(term._id for term in conjuncts)
+
+    def store_cnf(
+        self, conjuncts: Sequence[Term], skeleton: object, merged: bool = False
+    ) -> bool:
+        """Store the Tseitin skeleton of canonical ``conjuncts``; True if new.
+
+        The skeleton is a pure function of the (ordered, interned)
+        canonical conjunct list, so there is nothing to reconcile on a
+        collision — first writer wins.  Skeletons carry no fingerprint:
+        the translation depends only on the terms, never on solver
+        budgets.
+        """
+        key = self._cnf_key(conjuncts)
+        if not key:
+            return False
+        with self._lock:
+            if key in self._cnf_skeletons:
+                return False
+            self._cnf_skeletons[key] = skeleton
+            self._cnf_conjuncts[key] = tuple(conjuncts)
+            if merged:
+                self.stats.merged += 1
+            else:
+                self.stats.cnf_stores += 1
+            return True
+
+    def lookup_cnf(self, conjuncts: Sequence[Term]) -> Optional[object]:
+        """The stored skeleton for canonical ``conjuncts``, or ``None``."""
+        with self._lock:
+            skeleton = self._cnf_skeletons.get(self._cnf_key(conjuncts))
+            if skeleton is not None:
+                self.stats.cnf_hits += 1
+            return skeleton
+
+    def cnf_snapshot(self) -> List[Tuple[Tuple[Term, ...], object]]:
+        """Every stored skeleton as ``(canonical conjuncts, skeleton)``."""
+        with self._lock:
+            return [
+                (self._cnf_conjuncts[key], skeleton)
+                for key, skeleton in self._cnf_skeletons.items()
+                if key in self._cnf_conjuncts
+            ]
+
     def note_invalid_hit(self) -> None:
         """Record a hit whose translated model failed verification."""
         with self._lock:
@@ -308,6 +451,9 @@ class SolverCache:
             self._conjuncts.clear()
             self._component_entries.clear()
             self._component_conjuncts.clear()
+            self._cores.clear()
+            self._cnf_skeletons.clear()
+            self._cnf_conjuncts.clear()
             self._norm_memo.clear()
             self._key_memo.clear()
 
@@ -354,13 +500,18 @@ class SolverCache:
                 self.stats.merged += 1
         return key
 
-    def stats_snapshot(self) -> Tuple[int, int, int, int, int, int, int]:
+    #: Width of the :meth:`stats_snapshot` tuple (the process backend's
+    #: per-worker counter delta).
+    STATS_FIELDS = 11
+
+    def stats_snapshot(self) -> Tuple[int, ...]:
         """Atomic reading of the transferable counters.
 
         ``(hits, misses, stores, invalid_hits, component_hits,
-        component_misses, component_stores)`` — the tuple the process
-        backend ships from workers and folds back into the campaign cache
-        via :meth:`add_external_stats`.
+        component_misses, component_stores, core_hits, core_stores,
+        cnf_hits, cnf_stores)`` — the tuple the process backend ships from
+        workers and folds back into the campaign cache via
+        :meth:`add_external_stats`.
         """
         with self._lock:
             stats = self.stats
@@ -372,6 +523,10 @@ class SolverCache:
                 stats.component_hits,
                 stats.component_misses,
                 stats.component_stores,
+                stats.core_hits,
+                stats.core_stores,
+                stats.cnf_hits,
+                stats.cnf_stores,
             )
 
     def add_external_stats(
@@ -383,6 +538,10 @@ class SolverCache:
         component_hits: int = 0,
         component_misses: int = 0,
         component_stores: int = 0,
+        core_hits: int = 0,
+        core_stores: int = 0,
+        cnf_hits: int = 0,
+        cnf_stores: int = 0,
     ) -> None:
         """Fold counter deltas from a worker-local cache into this one."""
         with self._lock:
@@ -393,6 +552,10 @@ class SolverCache:
             self.stats.component_hits += component_hits
             self.stats.component_misses += component_misses
             self.stats.component_stores += component_stores
+            self.stats.core_hits += core_hits
+            self.stats.core_stores += core_stores
+            self.stats.cnf_hits += cnf_hits
+            self.stats.cnf_stores += cnf_stores
 
 
 # ----------------------------------------------------------------------

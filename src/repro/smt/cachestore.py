@@ -1,62 +1,74 @@
-"""Persistent, sharded on-disk store for solver-cache entries.
+"""Solver-cache codec over the unified :mod:`repro.store` layer.
 
 A campaign's :class:`~repro.smt.cache.SolverCache` holds verdicts keyed by
 canonical constraint systems.  Intern ids — the in-memory key material —
 are process-creation history and mean nothing outside the process, so the
-store serializes the *structure*: each entry is the canonical conjuncts in
-a small wire format plus the verdict (status, canonical model, reason).
-Loading re-interns every term against the current process's table and
-recomputes the key, so a warm start is exact regardless of how either
-process built its DAG.
+store serializes the *structure*: each artifact is the canonical conjuncts
+in a small wire format plus its payload.  Loading re-interns every term
+against the current process's table and recomputes the key, so a warm
+start is exact regardless of how either process built its DAG.
 
-Layout under ``cache_dir``::
+Four artifact kinds travel through this codec:
 
-    meta.json       {"version": ..., "fingerprint": [...], "entries": N}
-    shard-00.json   [entry, entry, ...]
-    ...
-    shard-15.json
+* ``query`` / ``component`` — (conjuncts, verdict) pairs, the two cache
+  granularities;
+* ``core`` — canonical UNSAT cores; a warm run answers any query whose
+  canonical conjuncts are a superset of a stored core without solving;
+* ``cnf`` — blasted-CNF (Tseitin) skeletons per canonical conjunct list;
+  a warm run re-solves without re-blasting.  Skeletons are persisted
+  even when the CDCL verdict was UNKNOWN (the skeleton is a pure
+  translation, not a budget artifact).
 
-Entries are sharded by a stable content hash of their serialized conjuncts
-so individual files stay small and a partial corruption loses one shard,
-not the store.  ``meta.json`` carries the store format version and the
-solver-configuration fingerprint the verdicts were derived under; a
-mismatch on either invalidates the whole store (the verdicts may be stale
-under the new configuration), and the next save overwrites it.
+Persistence itself — versioned + fingerprint-stamped ``meta.json``,
+sharded files with atomic replaces, and crucially the exclusive-lock
+**merge-on-save** that makes two campaigns sharing one ``--cache-dir``
+additive instead of last-writer-wins — lives in
+:class:`repro.store.ArtifactStore`; this module only encodes and decodes.
 
 The same wire format doubles as the process backend's delta encoding:
-:func:`export_wire_entries` / :func:`merge_wire_entries` move entries
+:func:`export_wire_entries` / :func:`merge_wire_entries` move artifacts
 between a worker's local cache and the parent campaign cache through a
 pickle-friendly list of plain dicts.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.smt.bitblast import CnfSkeleton
 from repro.smt.cache import CachedVerdict, SolverCache
 from repro.smt.evalmodel import Model
 from repro.smt.terms import Term, TermKind
+from repro.store import ArtifactStore, StoreRecord, content_key
 
 #: Bump when the wire format changes; mismatched stores are discarded.
 #: v2: entries carry a kind tag (whole-query vs connected-component) and
 #: the portfolio-stage provenance of the verdict.
-FORMAT_VERSION = 2
+#: v3: unified content-addressed ``repro.store`` envelope; canonical
+#: UNSAT cores and blasted-CNF skeletons ride along.
+FORMAT_VERSION = 3
 
 #: Default number of shard files a store spreads its entries over.
 DEFAULT_SHARD_COUNT = 16
 
-_META_NAME = "meta.json"
-
 #: Verdicts with this status are budget artifacts, never persisted.
 _UNKNOWN_STATUS = "unknown"
 
-_KIND_BY_VALUE: Dict[str, TermKind] = {kind.value: kind for kind in TermKind}
+_KIND_BY_VALUE = {kind.value: kind for kind in TermKind}
 
 #: Errors that mean "this file/entry is unusable", not "crash the run".
 _WIRE_ERRORS = (KeyError, ValueError, TypeError, IndexError, AttributeError)
+
+#: Wire "k" tags <-> cache kinds.  The absent tag means a whole-query
+#: entry (v2 compatibility of the *format*, not the files — v2 stores are
+#: version-mismatched and reload cold).
+_TAG_BY_KIND = {
+    SolverCache.KIND_COMPONENT: "c",
+    SolverCache.KIND_CORE: "u",
+    SolverCache.KIND_CNF: "b",
+}
+_KIND_BY_TAG = {tag: kind for kind, tag in _TAG_BY_KIND.items()}
 
 
 # ----------------------------------------------------------------------
@@ -140,12 +152,8 @@ def entry_to_wire(
 
 
 def entry_kind(obj: dict) -> str:
-    """The cache table a wire entry belongs to."""
-    return (
-        SolverCache.KIND_COMPONENT
-        if obj.get("k") == "c"
-        else SolverCache.KIND_QUERY
-    )
+    """The cache table a wire artifact belongs to."""
+    return _KIND_BY_TAG.get(obj.get("k"), SolverCache.KIND_QUERY)
 
 
 def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
@@ -160,19 +168,65 @@ def entry_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CachedVerdict]:
     )
 
 
+def core_to_wire(conjuncts: Sequence[Term]) -> dict:
+    """Serialize a canonical UNSAT core.
+
+    A core is a *set* of conjuncts; its wire conjuncts are sorted by
+    their serialized form so the same core gets the same content key
+    regardless of the order the derivation discovered it in.
+    """
+    wires = sorted(
+        (term_to_wire(c) for c in conjuncts),
+        key=lambda w: json.dumps(w, separators=(",", ":")),
+    )
+    return {"k": "u", "c": wires}
+
+
+def core_from_wire(obj: dict) -> Tuple[Term, ...]:
+    """Inverse of :func:`core_to_wire`."""
+    return tuple(term_from_wire(c) for c in obj["c"])
+
+
+def skeleton_to_wire(conjuncts: Sequence[Term], skeleton: CnfSkeleton) -> dict:
+    """Serialize a blasted-CNF skeleton with its (ordered) conjunct list."""
+    return {
+        "k": "b",
+        "c": [term_to_wire(c) for c in conjuncts],
+        "n": skeleton.num_vars,
+        "l": [list(clause) for clause in skeleton.clauses],
+        "v": [[name, list(bits)] for name, bits in skeleton.var_bits],
+    }
+
+
+def skeleton_from_wire(obj: dict) -> Tuple[Tuple[Term, ...], CnfSkeleton]:
+    """Inverse of :func:`skeleton_to_wire`."""
+    conjuncts = tuple(term_from_wire(c) for c in obj["c"])
+    skeleton = CnfSkeleton(
+        num_vars=int(obj["n"]),
+        clauses=tuple(
+            tuple(int(lit) for lit in clause) for clause in obj["l"]
+        ),
+        var_bits=tuple(
+            (str(name), tuple(int(lit) for lit in bits))
+            for name, bits in obj["v"]
+        ),
+    )
+    return conjuncts, skeleton
+
+
 # ----------------------------------------------------------------------
 # Cache <-> wire-entry lists (shared with the process backend)
 # ----------------------------------------------------------------------
 def export_wire_entries(
     cache: SolverCache, exclude: Optional[set] = None
 ) -> Tuple[List[dict], List[Tuple]]:
-    """Serialize ``cache``'s entries (minus ``exclude`` tagged keys).
+    """Serialize ``cache``'s artifacts (minus ``exclude`` tagged keys).
 
-    Both tables travel: whole-query entries and component-granularity
-    entries (tagged ``"k": "c"``).  Returns ``(wire_entries, keys)`` in
-    matching order, where each key is a ``(kind, cache key)`` pair — the
-    same tagging ``exclude`` is matched against — so callers can record
-    which entries have been shipped already.
+    All four kinds travel: whole-query entries, component-granularity
+    entries, UNSAT cores and CNF skeletons.  Returns ``(wire_entries,
+    keys)`` in matching order, where each key is a ``(kind, cache key)``
+    pair — the same tagging ``exclude`` is matched against — so callers
+    can record which artifacts have been shipped already.
     """
     wire: List[dict] = []
     keys: List[Tuple] = []
@@ -187,11 +241,37 @@ def export_wire_entries(
             item["f"] = fingerprint_to_wire(key[0])
             wire.append(item)
             keys.append((kind, key))
+
+    core_excluded = (
+        {key for tag, key in exclude if tag == SolverCache.KIND_CORE}
+        if exclude
+        else set()
+    )
+    for fingerprint, conjuncts in cache.cores_snapshot():
+        key = (fingerprint, frozenset(term._id for term in conjuncts))
+        if key in core_excluded:
+            continue
+        item = core_to_wire(conjuncts)
+        item["f"] = fingerprint_to_wire(fingerprint)
+        wire.append(item)
+        keys.append((SolverCache.KIND_CORE, key))
+
+    cnf_excluded = (
+        {key for tag, key in exclude if tag == SolverCache.KIND_CNF}
+        if exclude
+        else set()
+    )
+    for conjuncts, skeleton in cache.cnf_snapshot():
+        key = tuple(term._id for term in conjuncts)
+        if key in cnf_excluded:
+            continue
+        wire.append(skeleton_to_wire(conjuncts, skeleton))
+        keys.append((SolverCache.KIND_CNF, key))
     return wire, keys
 
 
 def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tuple]:
-    """Adopt exported entries into ``cache``; returns the merged tagged keys.
+    """Adopt exported artifacts into ``cache``; returns the merged tagged keys.
 
     Malformed entries are skipped — a bad delta or file costs coverage,
     never correctness.
@@ -199,14 +279,31 @@ def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tup
     merged: List[Tuple] = []
     for item in wire_entries:
         try:
-            fingerprint = fingerprint_from_wire(item["f"])
             kind = entry_kind(item)
-            conjuncts, verdict = entry_from_wire(item)
+            if kind == SolverCache.KIND_CORE:
+                fingerprint = fingerprint_from_wire(item["f"])
+                conjuncts = core_from_wire(item)
+                cache.add_core(fingerprint, conjuncts, merged=True)
+                merged.append(
+                    (kind, (fingerprint, frozenset(t._id for t in conjuncts)))
+                )
+            elif kind == SolverCache.KIND_CNF:
+                conjuncts, skeleton = skeleton_from_wire(item)
+                cache.store_cnf(conjuncts, skeleton, merged=True)
+                merged.append((kind, tuple(t._id for t in conjuncts)))
+            else:
+                fingerprint = fingerprint_from_wire(item["f"])
+                conjuncts, verdict = entry_from_wire(item)
+                merged.append(
+                    (
+                        kind,
+                        cache.merge_canonical(
+                            fingerprint, conjuncts, verdict, kind=kind
+                        ),
+                    )
+                )
         except _WIRE_ERRORS:
             continue
-        merged.append(
-            (kind, cache.merge_canonical(fingerprint, conjuncts, verdict, kind=kind))
-        )
     return merged
 
 
@@ -214,121 +311,105 @@ def merge_wire_entries(cache: SolverCache, wire_entries: List[dict]) -> List[Tup
 # The on-disk store
 # ----------------------------------------------------------------------
 class CacheStore:
-    """Versioned, fingerprinted, sharded solver-cache persistence."""
+    """Solver-cache persistence: a thin codec over :class:`ArtifactStore`.
+
+    The store layer supplies the durability contract (atomic replaces,
+    version + fingerprint stamps, exclusive-lock merge-on-save); this
+    class maps cache tables to store records and back.
+    """
 
     def __init__(self, cache_dir: str, shard_count: int = DEFAULT_SHARD_COUNT) -> None:
         self.cache_dir = str(cache_dir)
         self.shard_count = max(1, int(shard_count))
+        self._store = ArtifactStore(
+            self.cache_dir,
+            version=FORMAT_VERSION,
+            shard_count=self.shard_count,
+        )
 
     # ------------------------------------------------------------------
     def _meta_path(self) -> str:
-        return os.path.join(self.cache_dir, _META_NAME)
-
-    def _shard_path(self, index: int) -> str:
-        return os.path.join(self.cache_dir, f"shard-{index:02d}.json")
-
-    @staticmethod
-    def _shard_of(conjunct_wire: list, shard_count: int) -> int:
-        payload = json.dumps(conjunct_wire, separators=(",", ":"), sort_keys=True)
-        digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()
-        return int(digest, 16) % shard_count
+        return self._store.meta_path()
 
     # ------------------------------------------------------------------
     def load(self, cache: SolverCache, fingerprint: Tuple) -> int:
-        """Merge the store into ``cache``; returns entries merged.
+        """Merge the store into ``cache``; returns artifacts merged.
 
         Returns 0 — a cold start — when the store is absent, was written
         by a different format version, or was derived under a different
         solver-configuration fingerprint.
         """
-        try:
-            with open(self._meta_path(), "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return 0
-        try:
-            if meta.get("version") != FORMAT_VERSION:
-                return 0
-            if fingerprint_from_wire(meta.get("fingerprint", [])) != fingerprint:
-                return 0
-            shard_count = int(meta.get("shards", DEFAULT_SHARD_COUNT))
-        except _WIRE_ERRORS:
-            return 0
-
         merged = 0
-        for index in range(shard_count):
+        for record in self._store.load(fingerprint_to_wire(fingerprint)):
+            payload = record.payload
+            if not isinstance(payload, dict):
+                continue
             try:
-                with open(self._shard_path(index), "r", encoding="utf-8") as handle:
-                    entries = json.load(handle)
-            except FileNotFoundError:
+                kind = entry_kind(payload)
+                if kind == SolverCache.KIND_CORE:
+                    if cache.add_core(
+                        fingerprint, core_from_wire(payload), merged=True
+                    ):
+                        merged += 1
+                elif kind == SolverCache.KIND_CNF:
+                    conjuncts, skeleton = skeleton_from_wire(payload)
+                    if cache.store_cnf(conjuncts, skeleton, merged=True):
+                        merged += 1
+                else:
+                    conjuncts, verdict = entry_from_wire(payload)
+                    cache.merge_canonical(
+                        fingerprint, conjuncts, verdict, kind=kind
+                    )
+                    merged += 1
+            except _WIRE_ERRORS:
                 continue
-            except (OSError, json.JSONDecodeError):
-                # One corrupt shard loses its entries, not the store.
-                continue
-            if not isinstance(entries, list):
-                continue
-            for item in entries:
-                try:
-                    kind = entry_kind(item)
-                    conjuncts, verdict = entry_from_wire(item)
-                except _WIRE_ERRORS:
-                    continue
-                cache.merge_canonical(fingerprint, conjuncts, verdict, kind=kind)
-                merged += 1
         return merged
 
     # ------------------------------------------------------------------
     def save(self, cache: SolverCache, fingerprint: Tuple) -> int:
-        """Write ``cache``'s entries for ``fingerprint``; returns the count.
+        """Merge ``cache``'s artifacts into the store; returns the total stored.
 
-        Both whole-query and component entries are written.  UNKNOWN
-        verdicts are *not*: an UNKNOWN only records that this run's budget
-        was exhausted, and persisting it would pin the failure across runs
-        whose budgets (or solver improvements) could decide the query.
+        All four kinds are written.  UNKNOWN verdicts are *not*: an
+        UNKNOWN only records that this run's budget was exhausted, and
+        persisting it would pin the failure across runs whose budgets (or
+        solver improvements) could decide the query.  CNF skeletons *are*
+        written even when their query stayed UNKNOWN — the translation is
+        budget-independent, and re-solving without re-blasting is exactly
+        the warm-run win for hard queries.
 
-        The whole store is rewritten (entry counts are small — thousands,
-        not millions) with per-file atomic replaces, so a reader racing a
-        writer sees complete files.
+        The save is **merge-on-save** under the store's exclusive lock:
+        entries already on disk (written by another campaign sharing this
+        directory) survive — the union is what the next load sees.
         """
-        shards: Dict[int, List[dict]] = {}
-        saved = 0
+        records: List[StoreRecord] = []
         for kind in (SolverCache.KIND_QUERY, SolverCache.KIND_COMPONENT):
             for key, conjuncts, verdict in cache.entries_snapshot(kind=kind):
                 if key[0] != fingerprint:
                     continue
                 if verdict.status == _UNKNOWN_STATUS:
                     continue
-                wire = entry_to_wire(conjuncts, verdict, kind=kind)
-                shards.setdefault(
-                    self._shard_of(wire["c"], self.shard_count), []
-                ).append(wire)
-                saved += 1
-
-        os.makedirs(self.cache_dir, exist_ok=True)
-        for index in range(self.shard_count):
-            path = self._shard_path(index)
-            entries = shards.get(index)
-            if not entries:
-                try:
-                    os.remove(path)
-                except FileNotFoundError:
-                    pass
+                payload = entry_to_wire(conjuncts, verdict, kind=kind)
+                records.append(
+                    StoreRecord(kind, content_key(kind, payload["c"]), payload)
+                )
+        for core_fingerprint, conjuncts in cache.cores_snapshot():
+            if core_fingerprint != fingerprint:
                 continue
-            self._write_atomic(path, entries)
-        self._write_atomic(
-            self._meta_path(),
-            {
-                "version": FORMAT_VERSION,
-                "fingerprint": fingerprint_to_wire(fingerprint),
-                "shards": self.shard_count,
-                "entries": saved,
-            },
-        )
-        return saved
-
-    @staticmethod
-    def _write_atomic(path: str, payload) -> None:
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-        os.replace(tmp_path, path)
+            payload = core_to_wire(conjuncts)
+            records.append(
+                StoreRecord(
+                    SolverCache.KIND_CORE,
+                    content_key(SolverCache.KIND_CORE, payload["c"]),
+                    payload,
+                )
+            )
+        for conjuncts, skeleton in cache.cnf_snapshot():
+            payload = skeleton_to_wire(conjuncts, skeleton)
+            records.append(
+                StoreRecord(
+                    SolverCache.KIND_CNF,
+                    content_key(SolverCache.KIND_CNF, payload["c"]),
+                    payload,
+                )
+            )
+        return self._store.save(fingerprint_to_wire(fingerprint), records)

@@ -132,6 +132,15 @@ class SolverConfig:
     #: between observations) instead of opening a fresh session — and
     #: re-blasting the shared constraint prefix — per observation.
     reuse_sessions: bool = True
+    #: Persist and replay blasted-CNF skeletons
+    #: (:class:`~repro.smt.bitblast.CnfSkeleton`) through the attached
+    #: cache: the complete backend looks a canonical conjunct list up
+    #: before translating and stores the translation after, so a warm run
+    #: (or a sibling query in this one) skips the Tseitin step entirely.
+    #: The replayed CNF is the same formula the fresh path would build, so
+    #: statuses and models are identical
+    #: (``repro campaign --no-cnf-skeletons`` disables it).
+    enable_cnf_skeletons: bool = True
 
     def fingerprint(self) -> Tuple:
         """The knobs a cached verdict depends on.
@@ -161,6 +170,7 @@ class SolverConfig:
             self.enable_sessions,
             self.enable_unsat_cores,
             self.reuse_sessions,
+            self.enable_cnf_skeletons,
         )
 
 
@@ -189,6 +199,8 @@ class SolverTelemetry:
             self.cores_extracted = 0
             self.core_pruned_candidates = 0
             self.sessions_reused = 0
+            self.skeleton_hits = 0
+            self.skeleton_stores = 0
 
     def record_query(self, session: bool) -> None:
         with self._lock:
@@ -210,6 +222,16 @@ class SolverTelemetry:
         """A per-site session was reused for another observation."""
         with self._lock:
             self.sessions_reused += 1
+
+    def record_skeleton_hit(self) -> None:
+        """A bit-blast was replayed from a stored CNF skeleton."""
+        with self._lock:
+            self.skeleton_hits += 1
+
+    def record_skeleton_store(self) -> None:
+        """A fresh bit-blast's CNF skeleton was stored for reuse."""
+        with self._lock:
+            self.skeleton_stores += 1
 
     def record_bitblast(self, elapsed: float, result: Optional[SatResult]) -> None:
         with self._lock:
@@ -233,6 +255,8 @@ class SolverTelemetry:
                 "cores_extracted": self.cores_extracted,
                 "core_pruned_candidates": self.core_pruned_candidates,
                 "sessions_reused": self.sessions_reused,
+                "skeleton_hits": self.skeleton_hits,
+                "skeleton_stores": self.skeleton_stores,
             }
 
 
@@ -494,9 +518,44 @@ class PortfolioSolver:
             # re-derive (and overwrite) the entry.
             self.cache.note_invalid_hit()
 
+        if self.config.enable_unsat_cores:
+            # A stored canonical core whose conjuncts are a subset of this
+            # system's is a proof: asserting a superset of a jointly
+            # infeasible set stays infeasible.  Answer UNSAT without
+            # solving and store the verdict like any other derivation
+            # (it is a pure function of the canonical system).
+            core = self.cache.match_core(system)
+            if core is not None:
+                stages.append("core-subsumed")
+                store(
+                    system,
+                    CachedVerdict(
+                        status=SolverStatus.UNSAT,
+                        canonical_model=None,
+                        reason="core-subsumed",
+                        stages=("core-subsumed",),
+                    ),
+                )
+                return SolverResult(
+                    SolverStatus.UNSAT,
+                    reason="core-subsumed",
+                    unsat_core=_translate_core(
+                        core, system.conjuncts, conjuncts
+                    ),
+                )
+
         mark = len(stages)
         tracked = _TrackedBackend.wrap(bitblast_fn)
         canonical_result = solve(list(system.conjuncts), stages, tracked)
+        if (
+            canonical_result.is_unsat
+            and canonical_result.unsat_core
+            and self.config.enable_unsat_cores
+        ):
+            # Cores are sound whatever derived them (even a session's
+            # history-dependent CDCL: the certificate is about the terms,
+            # not the search), so record them even for tainted verdicts.
+            self.cache.add_core(system.key[0], canonical_result.unsat_core)
         if tracked is None or not tracked.used:
             store(
                 system,
@@ -778,6 +837,10 @@ class PortfolioSolver:
         return wide_multiplications <= 2
 
     def _bitblast(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        if self.cache is not None and self.config.enable_cnf_skeletons:
+            via_skeleton = self._bitblast_via_skeleton(conjuncts)
+            if via_skeleton is not None:
+                return via_skeleton
         started = time.perf_counter()
         try:
             blaster = BitBlaster()
@@ -794,6 +857,62 @@ class PortfolioSolver:
         if result.status == SatStatus.SAT:
             return SatStatus.SAT, blaster.extract_model(result)
         return result.status, None
+
+    def _bitblast_via_skeleton(
+        self, conjuncts: Sequence[Term]
+    ) -> Optional[Tuple[str, Optional[Model]]]:
+        """Complete backend through the cache's CNF-skeleton table.
+
+        Only *already-canonical* conjunct lists are eligible (the cached
+        pipeline always hands the backend canonical conjuncts; the check
+        is a cheap memoized re-canonicalization).  For those, blasting is
+        a pure function of the interned conjunct list, so a stored
+        skeleton rebuilds the exact CNF the fresh path would build —
+        identical CDCL run, identical status and model, minus the Tseitin
+        translation.  Returns ``None`` to defer to the fresh one-shot
+        path: a non-canonical conjunct list (a session fallback in caller
+        space), or a replayed model that fails verification (a plumbing
+        regression must degrade to re-derivation, not a wrong model).
+        """
+        system = self.cache.canonicalize(
+            list(conjuncts), self._config_fingerprint()
+        )
+        if system.conjuncts != tuple(conjuncts):
+            return None
+        skeleton = self.cache.lookup_cnf(system.conjuncts)
+        started = time.perf_counter()
+        if skeleton is None:
+            try:
+                blaster = BitBlaster()
+                for conjunct in system.conjuncts:
+                    blaster.assert_constraint(conjunct)
+            except (BitBlastError, RecursionError, MemoryError):
+                TELEMETRY.record_bitblast(time.perf_counter() - started, None)
+                return SatStatus.UNKNOWN, None
+            skeleton = blaster.skeleton()
+            if self.cache.store_cnf(system.conjuncts, skeleton):
+                TELEMETRY.record_skeleton_store()
+            cnf = blaster.cnf
+        else:
+            TELEMETRY.record_skeleton_hit()
+            cnf = skeleton.build_cnf()
+        try:
+            result = CDCLSolver(
+                cnf, max_conflicts=self.config.bitblast_max_conflicts
+            ).solve()
+        except (RecursionError, MemoryError):
+            TELEMETRY.record_bitblast(time.perf_counter() - started, None)
+            return SatStatus.UNKNOWN, None
+        TELEMETRY.record_bitblast(time.perf_counter() - started, result)
+        if result.status != SatStatus.SAT:
+            return result.status, None
+        model = skeleton.extract_model(result)
+        try:
+            if all(satisfies(c, model) for c in conjuncts):
+                return SatStatus.SAT, model
+        except EvaluationError:
+            pass
+        return None
 
 
 class SolverSession:

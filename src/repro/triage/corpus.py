@@ -1,31 +1,22 @@
-"""The persistent witness corpus: versioned, sharded, merge-on-save JSON.
+"""The persistent witness corpus: a codec over :mod:`repro.store`.
 
 The corpus is the triage subsystem's memory across runs: one
 :class:`WitnessRecord` per canonical witness signature, stored under a
-``--corpus-dir`` with the same durability discipline as the solver-cache
-store (:mod:`repro.smt.cachestore`):
+``--corpus-dir``.  Persistence — the versioned + fingerprinted
+``meta.json``, sharded files with atomic replaces, and the
+exclusive-lock **merge-on-save** that lets parallel campaigns,
+process-backend workers and sequential runs converge on one deduplicated
+corpus instead of clobbering each other — is supplied by
+:class:`repro.store.ArtifactStore`, shared with the solver-cache store
+(:mod:`repro.smt.cachestore`).  This module contributes the witness
+semantics: records are content-addressed by signature (itself a content
+hash), the fingerprint is the machine word width + signature version,
+and a signature collision resolves by :func:`merge_records` — the
+smaller witness wins (fewest changed fields, then the smaller
+perturbation) and the ``times_seen`` counters accumulate.
 
-* ``meta.json`` carries the corpus **format version** and a semantic
-  **fingerprint** (machine word width + signature version).  A mismatch on
-  either means the stored witnesses may be meaningless under the current
-  semantics, so the load is a cold start and the next save overwrites the
-  store.
-* records are **sharded** over ``shard-NN.json`` files by a stable hash of
-  their signature, so files stay small and a corrupt shard loses its
-  records, never the corpus.
-* every file is written with an atomic replace, so readers racing a writer
-  see complete files.
-
-Saving **merges**: under an exclusive lock file (so racing writers cannot
-interleave their load → merge → write sequences), the on-disk corpus is
-re-read and the new records folded in by signature — so parallel
-campaigns, process-backend workers and sequential runs all converge on one
-deduplicated corpus instead of clobbering each other.  On a signature
-collision the smaller witness wins
-(fewest changed fields, then the smaller perturbation) and the
-``times_seen`` counters accumulate.
-
-Wire-format versioning rules (mirrored in the README):
+Wire-format versioning rules (see ``docs/solver.md`` for the shared
+store-layer rules, mirrored in the README):
 
 * adding an optional record field is backward compatible — readers default
   it (see :meth:`WitnessRecord.from_wire`) and must not bump the version;
@@ -38,14 +29,11 @@ Wire-format versioning rules (mirrored in the README):
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exec.values import WORD_WIDTH
+from repro.store import ArtifactStore, StoreRecord
 from repro.triage.signature import SIGNATURE_VERSION, site_identity
 
 __all__ = [
@@ -57,20 +45,14 @@ __all__ = [
 ]
 
 #: Bump when the record wire format changes incompatibly.
-CORPUS_FORMAT_VERSION = 1
+#: v2: unified content-addressed ``repro.store`` envelope.
+CORPUS_FORMAT_VERSION = 2
 
 #: Default number of shard files a corpus spreads its records over.
 DEFAULT_SHARD_COUNT = 8
 
-_META_NAME = "meta.json"
-
-_LOCK_NAME = ".lock"
-
-#: How long a writer waits for the save lock before assuming its holder
-#: died and breaking it (campaign saves take milliseconds).
-_LOCK_TIMEOUT_SECONDS = 10.0
-
-_LOCK_POLL_SECONDS = 0.02
+#: The corpus's single artifact kind in the unified store envelope.
+KIND_WITNESS = "witness"
 
 #: Errors that mean "this record/file is unusable", not "crash the run".
 _WIRE_ERRORS = (KeyError, ValueError, TypeError, AttributeError)
@@ -229,64 +211,50 @@ def _witness_size(record: WitnessRecord) -> Tuple[int, int, int]:
 # ----------------------------------------------------------------------
 # The on-disk store
 # ----------------------------------------------------------------------
+def _merge_wire_records(kind: str, existing: object, incoming: object):
+    """Store-level collision resolution: decode, fold, re-encode.
+
+    Raising on a malformed payload is deliberate — the store layer then
+    keeps the incoming payload, so one bad on-disk record cannot veto a
+    fresh save.
+    """
+    return merge_records(
+        WitnessRecord.from_wire(existing), WitnessRecord.from_wire(incoming)
+    ).to_wire()
+
+
 class CorpusStore:
-    """Versioned, fingerprinted, sharded witness-corpus persistence."""
+    """Witness-corpus persistence: a thin codec over :class:`ArtifactStore`."""
 
     def __init__(
         self, corpus_dir: str, shard_count: int = DEFAULT_SHARD_COUNT
     ) -> None:
         self.corpus_dir = str(corpus_dir)
         self.shard_count = max(1, int(shard_count))
+        self._store = ArtifactStore(
+            self.corpus_dir,
+            version=CORPUS_FORMAT_VERSION,
+            shard_count=self.shard_count,
+        )
 
     # ------------------------------------------------------------------
     def _meta_path(self) -> str:
-        return os.path.join(self.corpus_dir, _META_NAME)
-
-    def _shard_path(self, index: int) -> str:
-        return os.path.join(self.corpus_dir, f"shard-{index:02d}.json")
-
-    @staticmethod
-    def _shard_of(signature: str, shard_count: int) -> int:
-        digest = hashlib.sha1(signature.encode("utf-8")).hexdigest()
-        return int(digest, 16) % shard_count
+        return self._store.meta_path()
 
     # ------------------------------------------------------------------
     def load(self) -> Dict[str, WitnessRecord]:
         """Read the corpus; empty on absence, version or fingerprint mismatch."""
-        try:
-            with open(self._meta_path(), "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return {}
-        try:
-            if meta.get("version") != CORPUS_FORMAT_VERSION:
-                return {}
-            if tuple(meta.get("fingerprint", ())) != corpus_fingerprint():
-                return {}
-            shard_count = int(meta.get("shards", DEFAULT_SHARD_COUNT))
-        except _WIRE_ERRORS:
-            return {}
-
         records: Dict[str, WitnessRecord] = {}
-        for index in range(shard_count):
+        for stored in self._store.load(list(corpus_fingerprint())):
+            if stored.kind != KIND_WITNESS:
+                continue
             try:
-                with open(self._shard_path(index), "r", encoding="utf-8") as handle:
-                    entries = json.load(handle)
-            except FileNotFoundError:
+                record = WitnessRecord.from_wire(stored.payload)
+            except _WIRE_ERRORS:
                 continue
-            except (OSError, json.JSONDecodeError):
-                # One corrupt shard loses its records, not the corpus.
-                continue
-            if not isinstance(entries, list):
-                continue
-            for item in entries:
-                try:
-                    record = WitnessRecord.from_wire(item)
-                except _WIRE_ERRORS:
-                    continue
-                records[record.signature] = merge_records(
-                    records.get(record.signature), record
-                )
+            records[record.signature] = merge_records(
+                records.get(record.signature), record
+            )
         return records
 
     # ------------------------------------------------------------------
@@ -296,87 +264,21 @@ class CorpusStore:
         """Write ``records``; returns the total records now stored.
 
         With ``merge`` (the default) the on-disk corpus is re-read and the
-        new records folded in by signature, so concurrent or sequential
-        campaigns converge instead of overwriting each other.  The whole
-        load → merge → write sequence runs under an exclusive lock file —
-        per-file atomic replaces alone would let two racing writers each
-        miss the other's records.  ``merge=False`` replaces the store
+        new records folded in by signature under the store's exclusive
+        lock, so concurrent or sequential campaigns converge instead of
+        overwriting each other.  ``merge=False`` replaces the store
         outright (the replay subcommand uses it after rewriting statuses).
         """
-        os.makedirs(self.corpus_dir, exist_ok=True)
-        lock_fd = self._acquire_lock()
-        try:
-            combined: Dict[str, WitnessRecord] = self.load() if merge else {}
-            for signature, record in records.items():
-                combined[signature] = merge_records(
-                    combined.get(signature), record
+        wire: List[StoreRecord] = []
+        for signature in sorted(records):
+            wire.append(
+                StoreRecord(
+                    KIND_WITNESS, str(signature), records[signature].to_wire()
                 )
-
-            shards: Dict[int, List[dict]] = {}
-            for signature in sorted(combined):
-                shards.setdefault(
-                    self._shard_of(signature, self.shard_count), []
-                ).append(combined[signature].to_wire())
-
-            for index in range(self.shard_count):
-                path = self._shard_path(index)
-                entries = shards.get(index)
-                if not entries:
-                    try:
-                        os.remove(path)
-                    except FileNotFoundError:
-                        pass
-                    continue
-                self._write_atomic(path, entries)
-            self._write_atomic(
-                self._meta_path(),
-                {
-                    "version": CORPUS_FORMAT_VERSION,
-                    "fingerprint": list(corpus_fingerprint()),
-                    "shards": self.shard_count,
-                    "entries": len(combined),
-                },
             )
-        finally:
-            self._release_lock(lock_fd)
-        return len(combined)
-
-    # ------------------------------------------------------------------
-    def _lock_path(self) -> str:
-        return os.path.join(self.corpus_dir, _LOCK_NAME)
-
-    def _acquire_lock(self) -> int:
-        """Take the exclusive save lock, breaking it if its holder died."""
-        deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
-        while True:
-            try:
-                fd = os.open(
-                    self._lock_path(), os.O_CREAT | os.O_EXCL | os.O_WRONLY
-                )
-                os.write(fd, str(os.getpid()).encode("ascii"))
-                return fd
-            except FileExistsError:
-                if time.monotonic() >= deadline:
-                    # The holder has been gone far longer than any save
-                    # takes; reclaim the lock rather than deadlocking.
-                    try:
-                        os.remove(self._lock_path())
-                    except FileNotFoundError:
-                        pass
-                    deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
-                else:
-                    time.sleep(_LOCK_POLL_SECONDS)
-
-    def _release_lock(self, fd: int) -> None:
-        os.close(fd)
-        try:
-            os.remove(self._lock_path())
-        except FileNotFoundError:  # pragma: no cover - freed by a breaker
-            pass
-
-    @staticmethod
-    def _write_atomic(path: str, payload) -> None:
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        os.replace(tmp_path, path)
+        return self._store.save(
+            list(corpus_fingerprint()),
+            wire,
+            merge_record=_merge_wire_records,
+            replace=not merge,
+        )

@@ -15,16 +15,21 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.smt import builder as b
+from repro.smt.bitblast import BitBlaster
 from repro.smt.cache import CachedVerdict, SolverCache
 from repro.smt.cachestore import (
     FORMAT_VERSION,
     CacheStore,
+    core_from_wire,
+    core_to_wire,
     entry_from_wire,
     entry_to_wire,
     export_wire_entries,
     fingerprint_from_wire,
     fingerprint_to_wire,
     merge_wire_entries,
+    skeleton_from_wire,
+    skeleton_to_wire,
     term_from_wire,
     term_to_wire,
 )
@@ -147,8 +152,13 @@ _SYSTEMS = [
 
 
 def _total_entries(cache):
-    """Entries across both granularities (whole-query + component)."""
-    return len(cache) + cache.component_count()
+    """Artifacts across all four kinds (query, component, core, cnf)."""
+    return (
+        len(cache)
+        + cache.component_count()
+        + cache.core_count()
+        + cache.cnf_count()
+    )
 
 
 class TestCacheStoreRoundTrip:
@@ -273,6 +283,36 @@ class TestWireEntryExchange:
         assert len(merged) == good
 
 
+class TestConcurrentWriters:
+    """The lost-update regression: saving is merge-on-save, so two writers
+    sharing one store dir must both survive — the union of their
+    (non-UNKNOWN) entries is what a fresh load sees."""
+
+    def test_two_writers_saving_disjoint_entries_both_survive(self, tmp_path):
+        fingerprint = SolverConfig().fingerprint()
+        cache_a, _ = _warmed_cache(_SYSTEMS[:1])
+        cache_b, _ = _warmed_cache(_SYSTEMS[1:])
+
+        CacheStore(str(tmp_path)).save(cache_a, fingerprint)
+        CacheStore(str(tmp_path)).save(cache_b, fingerprint)
+
+        union = SolverCache()
+        CacheStore(str(tmp_path)).load(union, fingerprint)
+        assert len(union) >= max(len(cache_a), len(cache_b))
+        for source in (cache_a, cache_b):
+            for key, _conjuncts, _verdict in source.entries_snapshot():
+                assert key in dict(
+                    (k, v) for k, _c, v in union.entries_snapshot()
+                ), "a writer's entries were clobbered by the later save"
+        assert len(union) == len(
+            {
+                key
+                for source in (cache_a, cache_b)
+                for key, _c, _v in source.entries_snapshot()
+            }
+        )
+
+
 class TestCampaignWarmStart:
     def test_second_campaign_run_warm_starts_from_the_first(self, tmp_path):
         from repro.core.campaign import CampaignConfig, run_campaign
@@ -307,3 +347,162 @@ class TestCampaignWarmStart:
         )
         assert sorted(os.listdir(directory)) == before
         assert (tmp_path / "meta.json").read_bytes() == stamp
+
+
+class TestCoreWire:
+    """Canonical UNSAT cores on the wire (kind ``core``, tag ``"u"``)."""
+
+    @given(system=constraint_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_reinterns_the_core(self, system):
+        wire = json.loads(json.dumps(core_to_wire(tuple(system))))
+        back = core_from_wire(wire)
+        assert set(back) == set(system)  # hash-consing: identical objects
+
+    def test_wire_is_order_independent(self):
+        """A core is a set; its wire (and so its content key) must not
+        depend on the order the derivation discovered the conjuncts in."""
+        x = b.bv_var("v000", 8)
+        p = b.ult(x, b.bv_const(3, 8))
+        q = b.ugt(x, b.bv_const(250, 8))
+        assert core_to_wire((p, q)) == core_to_wire((q, p))
+
+
+class TestSkeletonWire:
+    """Blasted-CNF skeletons on the wire (kind ``cnf``, tag ``"b"``)."""
+
+    @given(system=constraint_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_rebuilds_the_identical_cnf(self, system):
+        blaster = BitBlaster()
+        for conjunct in system:
+            blaster.assert_constraint(conjunct)
+        skeleton = blaster.skeleton()
+        wire = json.loads(json.dumps(skeleton_to_wire(tuple(system), skeleton)))
+        back_conjuncts, back_skeleton = skeleton_from_wire(wire)
+        assert back_conjuncts == tuple(system)
+        assert back_skeleton == skeleton
+        rebuilt = back_skeleton.build_cnf()
+        assert rebuilt.num_vars == blaster.cnf.num_vars
+        assert tuple(rebuilt.clauses) == tuple(blaster.cnf.clauses)
+
+
+def _synthetic_entries(cache, fingerprint, count, offset=0):
+    """Populate ``cache`` with ``count`` distinct single-conjunct verdicts."""
+    x = b.bv_var("v000", 16)
+    for value in range(offset, offset + count):
+        cache.merge_canonical(
+            fingerprint,
+            (b.eq(x, b.bv_const(value, 16)),),
+            CachedVerdict(
+                status="sat",
+                canonical_model=Model({"v000": value}),
+                reason="synthetic",
+            ),
+        )
+
+
+class TestCoreAndSkeletonPersistence:
+    def test_core_roundtrips_through_the_store(self, tmp_path):
+        fingerprint = SolverConfig().fingerprint()
+        cache = SolverCache()
+        x = b.bv_var("v000", 8)
+        core = (b.ult(x, b.bv_const(3, 8)), b.ugt(x, b.bv_const(250, 8)))
+        assert cache.add_core(fingerprint, core)
+        store = CacheStore(str(tmp_path))
+        assert store.save(cache, fingerprint) == 1
+
+        fresh = SolverCache()
+        assert store.load(fresh, fingerprint) == 1
+        assert fresh.core_count() == 1
+        [(back_fingerprint, back_core)] = fresh.cores_snapshot()
+        assert back_fingerprint == fingerprint
+        assert set(back_core) == set(core)
+
+    def test_skeleton_roundtrips_through_the_store(self, tmp_path):
+        fingerprint = SolverConfig().fingerprint()
+        cache = SolverCache()
+        x = b.bv_var("v000", 8)
+        conjuncts = (b.eq(b.bvand(x, b.bv_const(7, 8)), b.bv_const(5, 8)),)
+        blaster = BitBlaster()
+        for conjunct in conjuncts:
+            blaster.assert_constraint(conjunct)
+        skeleton = blaster.skeleton()
+        assert cache.store_cnf(conjuncts, skeleton)
+        store = CacheStore(str(tmp_path))
+        assert store.save(cache, fingerprint) == 1
+
+        fresh = SolverCache()
+        assert store.load(fresh, fingerprint) == 1
+        assert fresh.cnf_count() == 1
+        assert fresh.lookup_cnf(conjuncts) == skeleton
+        assert fresh.stats.cnf_hits == 1
+
+    def test_foreign_fingerprint_cores_are_not_saved(self, tmp_path):
+        fingerprint = SolverConfig().fingerprint()
+        cache = SolverCache()
+        x = b.bv_var("v000", 8)
+        cache.add_core(("other-config",), (b.ult(x, b.bv_const(1, 8)),))
+        assert CacheStore(str(tmp_path)).save(cache, fingerprint) == 0
+
+
+class TestShardLayoutChanges:
+    def test_shrinking_shard_count_removes_orphans(self, tmp_path):
+        """shard-NN.json files beyond the new layout's count must go; a
+        ghost shard would resurrect stale entries on a later wide load."""
+        fingerprint = SolverConfig().fingerprint()
+        cache = SolverCache()
+        _synthetic_entries(cache, fingerprint, 48)
+        CacheStore(str(tmp_path), shard_count=16).save(cache, fingerprint)
+        assert len(list(tmp_path.glob("shard-*.json"))) > 1
+
+        narrow_cache = SolverCache()
+        _synthetic_entries(narrow_cache, fingerprint, 1, offset=48)
+        narrow = CacheStore(str(tmp_path), shard_count=1)
+        assert narrow.save(narrow_cache, fingerprint) == 49
+        assert sorted(p.name for p in tmp_path.glob("shard-*.json")) == [
+            "shard-00.json"
+        ]
+        fresh = SolverCache()
+        assert narrow.load(fresh, fingerprint) == 49
+
+
+def _mp_save_synthetic(cache_dir, index, barrier):
+    from repro.smt.cache import SolverCache
+    from repro.smt.cachestore import CacheStore
+    from repro.smt.solver import SolverConfig
+    import test_cachestore as this_module
+
+    fingerprint = SolverConfig().fingerprint()
+    cache = SolverCache()
+    this_module._synthetic_entries(cache, fingerprint, 3, offset=index * 3)
+    barrier.wait()
+    CacheStore(str(cache_dir)).save(cache, fingerprint)
+
+
+class TestConcurrentProcessWriters:
+    def test_parallel_saves_lose_no_entries(self, tmp_path):
+        """The stress form of the lost-update regression: real processes
+        racing through one --cache-dir; the union must survive."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        writer_count = 4
+        barrier = ctx.Barrier(writer_count)
+        processes = [
+            ctx.Process(
+                target=_mp_save_synthetic, args=(str(tmp_path), i, barrier)
+            )
+            for i in range(writer_count)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+
+        union = SolverCache()
+        loaded = CacheStore(str(tmp_path)).load(
+            union, SolverConfig().fingerprint()
+        )
+        assert loaded == len(union) == writer_count * 3

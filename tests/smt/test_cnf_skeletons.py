@@ -1,0 +1,175 @@
+"""Blasted-CNF skeletons: the warm bitblast path.
+
+Contract: a stored skeleton rebuilds the *exact* CNF a fresh Tseitin
+translation of the same canonical conjuncts would produce — identical
+variable numbering, identical clauses — so the CDCL run, and with it the
+status and any extracted model, is byte-for-byte the run the fresh path
+would have made.  Skeletons are pure translations, so they persist even
+for queries whose verdict stayed UNKNOWN, and the
+``enable_cnf_skeletons`` knob is fingerprinted like every other
+behavior-relevant switch.
+"""
+
+from __future__ import annotations
+
+from repro.smt import builder as b
+from repro.smt.bitblast import BitBlaster
+from repro.smt.cache import SolverCache
+from repro.smt.cachestore import CacheStore, export_wire_entries, merge_wire_entries
+from repro.smt.evalmodel import satisfies
+from repro.smt.sampler import SamplerConfig
+from repro.smt.sat import CDCLSolver, SatStatus
+from repro.smt.solver import PortfolioSolver, SolverConfig
+
+WIDTH = 16
+
+
+def _stress_config(**overrides):
+    """Tiny incomplete-layer budgets: route queries to the CDCL backend."""
+    defaults = dict(
+        sampler=SamplerConfig(
+            random_attempts_per_sample=3,
+            hill_climb_steps=2,
+            perturbation_attempts=2,
+            seed=0,
+        ),
+        heuristic_max_checks=4,
+        bitblast_max_conflicts=100_000,
+    )
+    defaults.update(overrides)
+    return SolverConfig(**defaults)
+
+
+def _square_residue_system(residue, tag=""):
+    """Only the complete backend decides these (squares mod 8 are {0,1,4})."""
+    x = b.bv_var(f"sk{tag}", WIDTH)
+    return [
+        b.eq(
+            b.bvand(b.mul(x, x), b.bv_const(7, WIDTH)),
+            b.bv_const(residue, WIDTH),
+        )
+    ]
+
+
+def _exact_square_system(root, tag=""):
+    """SAT, but only by CDCL: the sampler would have to guess ``root``."""
+    x = b.bv_var(f"xs{tag}", WIDTH)
+    return [
+        b.eq(b.mul(x, x), b.bv_const((root * root) & ((1 << WIDTH) - 1), WIDTH))
+    ]
+
+
+class TestSkeletonUnit:
+    def test_build_cnf_reproduces_the_blasters_cnf(self):
+        blaster = BitBlaster()
+        for conjunct in _exact_square_system(1234):
+            blaster.assert_constraint(conjunct)
+        skeleton = blaster.skeleton()
+        rebuilt = skeleton.build_cnf()
+        assert rebuilt.num_vars == blaster.cnf.num_vars
+        assert tuple(rebuilt.clauses) == tuple(blaster.cnf.clauses)
+
+    def test_extract_model_matches_the_blaster(self):
+        blaster = BitBlaster()
+        for conjunct in _square_residue_system(1):
+            blaster.assert_constraint(conjunct)
+        skeleton = blaster.skeleton()
+        result = CDCLSolver(skeleton.build_cnf()).solve()
+        assert result.status == SatStatus.SAT
+        assert skeleton.extract_model(result).as_dict() == (
+            blaster.extract_model(result).as_dict()
+        )
+
+
+class TestSkeletonWarmPath:
+    def test_skeleton_only_cache_reaches_the_same_sat_verdict(self):
+        """Seed a cache with *only* the cnf-kind artifacts of a cold run;
+        the warm run must re-derive the identical status, with the
+        skeleton supplying the CNF (no re-blasting)."""
+        config = _stress_config()
+        system = _exact_square_system(1234, "warm")
+        cache_cold = SolverCache()
+        cold = PortfolioSolver(config, cache=cache_cold).check(system)
+        assert cold.is_sat
+        assert cache_cold.cnf_count() > 0
+
+        wire, _ = export_wire_entries(cache_cold)
+        skeleton_wire = [item for item in wire if item.get("k") == "b"]
+        assert len(skeleton_wire) == cache_cold.cnf_count()
+        cache_warm = SolverCache()
+        merge_wire_entries(cache_warm, skeleton_wire)
+        assert len(cache_warm) == 0
+        assert cache_warm.component_count() == 0
+        assert cache_warm.cnf_count() == cache_cold.cnf_count()
+
+        warm = PortfolioSolver(config, cache=cache_warm).check(system)
+        assert warm.status == cold.status
+        assert cache_warm.stats.cnf_hits >= 1
+        assert warm.model is not None
+        assert all(satisfies(c, warm.model) for c in system)
+
+    def test_unknown_query_warm_starts_through_the_store(self, tmp_path):
+        """An exhausted-budget UNKNOWN persists no verdict, but its
+        skeleton rides the store; the warm run re-solves without
+        re-blasting and classifies identically."""
+        config = _stress_config(bitblast_max_conflicts=1)
+        fingerprint = config.fingerprint()
+        system = _square_residue_system(3, "ukw")  # 3 is not a square residue
+        cache_cold = SolverCache()
+        cold = PortfolioSolver(config, cache=cache_cold).check(system)
+        assert cold.is_unknown
+        store = CacheStore(str(tmp_path))
+        saved = store.save(cache_cold, fingerprint)
+        assert saved == cache_cold.cnf_count() > 0
+
+        cache_warm = SolverCache()
+        assert store.load(cache_warm, fingerprint) == saved
+        warm = PortfolioSolver(config, cache=cache_warm).check(system)
+        assert warm.is_unknown  # same budget, same (re-built) CNF
+        assert cache_warm.stats.cnf_hits >= 1
+
+    def test_disabled_skeletons_store_and_consult_nothing(self):
+        config = _stress_config(enable_cnf_skeletons=False)
+        cache = SolverCache()
+        result = PortfolioSolver(config, cache=cache).check(
+            _exact_square_system(1234, "off")
+        )
+        assert result.is_sat
+        assert cache.cnf_count() == 0
+        assert cache.stats.cnf_hits == 0
+
+    def test_skeleton_knob_is_fingerprinted(self):
+        base = SolverConfig().fingerprint()
+        assert SolverConfig(enable_cnf_skeletons=False).fingerprint() != base
+
+    def test_skeleton_verdicts_match_the_fresh_path(self):
+        """Parity: for a mix of SAT and UNSAT CDCL-bound queries, the
+        skeleton-assisted warm run reports exactly the fresh statuses."""
+        config = _stress_config()
+        systems = [
+            _exact_square_system(1234, "p1"),
+            _square_residue_system(3, "p3"),
+            _exact_square_system(777, "p2"),
+            _square_residue_system(6, "p6"),
+        ]
+        fresh_statuses = [
+            PortfolioSolver(_stress_config(enable_cnf_skeletons=False)).check(s).status
+            for s in systems
+        ]
+
+        cache = SolverCache()
+        solver = PortfolioSolver(config, cache=cache)
+        cold_statuses = [solver.check(s).status for s in systems]
+        assert cold_statuses == fresh_statuses
+
+        skeleton_wire = [
+            item
+            for item in export_wire_entries(cache)[0]
+            if item.get("k") == "b"
+        ]
+        cache_warm = SolverCache()
+        merge_wire_entries(cache_warm, skeleton_wire)
+        warm_solver = PortfolioSolver(config, cache=cache_warm)
+        warm_statuses = [warm_solver.check(s).status for s in systems]
+        assert warm_statuses == fresh_statuses
+        assert cache_warm.stats.cnf_hits >= 1

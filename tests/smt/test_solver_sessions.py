@@ -337,11 +337,16 @@ class TestUnknownDegradation:
         assert warm.is_unknown
         assert warm.reason == "cache"
         assert len(cache) + cache.component_count() > 0
-        # ... but nothing UNKNOWN reaches the store.
+        # ... but no UNKNOWN *verdict* reaches the store.  The blasted-CNF
+        # skeleton does — the translation is budget-independent, and a warm
+        # run retries the query without re-blasting.
         store = CacheStore(str(tmp_path))
-        assert store.save(cache, config.fingerprint()) == 0
+        saved = store.save(cache, config.fingerprint())
+        assert saved == cache.cnf_count() > 0
         fresh = SolverCache()
-        assert store.load(fresh, config.fingerprint()) == 0
+        assert store.load(fresh, config.fingerprint()) == saved
+        assert len(fresh) + fresh.component_count() == 0
+        assert fresh.cnf_count() == cache.cnf_count()
 
 
 class TestSessionBlasterIsolation:

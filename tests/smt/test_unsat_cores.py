@@ -235,3 +235,64 @@ class TestCoreKnob:
         base = SolverConfig().fingerprint()
         assert SolverConfig(enable_unsat_cores=False).fingerprint() != base
         assert SolverConfig(reuse_sessions=False).fingerprint() != base
+
+
+class TestCoreSubsumption:
+    """Persisted cores as semantic certificates: a warm query whose
+    canonical conjuncts are a *superset* of a stored core is UNSAT by
+    subsumption — asserting more on top of a jointly infeasible subset
+    cannot restore satisfiability — without running any solver layer."""
+
+    def _core_system(self, tag=""):
+        x = b.bv_var(f"cs{tag}", WIDTH)
+        return x, [
+            b.ult(x, b.bv_const(5, WIDTH)),
+            b.ugt(x, b.bv_const(9, WIDTH)),
+        ]
+
+    def test_superset_query_is_answered_by_subsumption(self):
+        cache = SolverCache()
+        solver = PortfolioSolver(SolverConfig(), cache=cache)
+        x, system = self._core_system("a")
+        first = solver.check(system)
+        assert first.is_unsat and first.unsat_core
+        assert cache.core_count() >= 1
+
+        superset = system + [b.ne(x, b.bv_const(7, WIDTH))]
+        result = solver.check(superset)
+        assert result.is_unsat
+        assert result.reason == "core-subsumed"
+        assert result.unsat_core  # translated back into caller terms
+        assert set(result.unsat_core) <= set(superset)
+        assert cache.stats.core_hits >= 1
+
+    def test_core_survives_the_store_round_trip(self, tmp_path):
+        from repro.smt.cachestore import CacheStore
+
+        config = SolverConfig()
+        cache = SolverCache()
+        x, system = self._core_system("b")
+        assert PortfolioSolver(config, cache=cache).check(system).is_unsat
+        CacheStore(str(tmp_path)).save(cache, config.fingerprint())
+
+        warm_cache = SolverCache()
+        CacheStore(str(tmp_path)).load(warm_cache, config.fingerprint())
+        assert warm_cache.core_count() == cache.core_count() >= 1
+        warm = PortfolioSolver(config, cache=warm_cache)
+        superset = system + [b.ne(x, b.bv_const(7, WIDTH))]
+        result = warm.check(superset)
+        assert result.is_unsat
+        assert result.reason == "core-subsumed"
+        assert warm_cache.stats.core_hits >= 1
+
+    def test_disabled_cores_never_subsume(self):
+        config = SolverConfig(enable_unsat_cores=False)
+        cache = SolverCache()
+        solver = PortfolioSolver(config, cache=cache)
+        x, system = self._core_system("c")
+        assert solver.check(system).is_unsat
+        assert cache.core_count() == 0
+        result = solver.check(system + [b.ne(x, b.bv_const(7, WIDTH))])
+        assert result.is_unsat
+        assert result.reason != "core-subsumed"
+        assert cache.stats.core_hits == 0

@@ -201,3 +201,49 @@ class TestCorpusStore:
         assert meta["version"] == CORPUS_FORMAT_VERSION
         assert tuple(meta["fingerprint"]) == corpus_fingerprint()
         assert meta["entries"] == 1
+
+
+class TestCorpusLocking:
+    def test_stale_lock_is_broken_and_save_succeeds(self, tmp_path):
+        """A writer that died holding the lock must not deadlock later
+        saves: the store breaks the stale lock (atomically — rename, not
+        a racy unlink) and proceeds."""
+        (tmp_path / ".lock").write_text("99999")  # holder died long ago
+        store = CorpusStore(str(tmp_path))
+        store._store.lock_timeout = 0.2  # keep the test fast
+        assert store.save({"w1-aaaa": make_record("w1-aaaa")}) == 1
+        assert set(store.load()) == {"w1-aaaa"}
+        assert not (tmp_path / ".lock").exists()
+
+    def test_concurrent_process_saves_lose_no_records(self, tmp_path):
+        """Racing *processes* (not just threads) sharing one --corpus-dir
+        must converge on the union."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        writer_count = 4
+        barrier = ctx.Barrier(writer_count)
+        processes = [
+            ctx.Process(
+                target=_mp_save_witness, args=(str(tmp_path), i, barrier)
+            )
+            for i in range(writer_count)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert set(CorpusStore(str(tmp_path)).load()) == {
+            f"w1-{i:04d}" for i in range(writer_count)
+        }
+
+
+def _mp_save_witness(corpus_dir, index, barrier):
+    from repro.triage.corpus import CorpusStore
+    import test_corpus as this_module
+
+    signature = f"w1-{index:04d}"
+    record = this_module.make_record(signature)
+    barrier.wait()
+    CorpusStore(corpus_dir).save({signature: record})
