@@ -1,6 +1,6 @@
 """Command-line interface for the DIODE reproduction.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro.cli analyze dillo            # full pipeline, Table-1 style row
     python -m repro.cli table1                   # all five applications, serially
@@ -8,7 +8,9 @@ Five subcommands cover the common workflows::
     python -m repro.cli campaign --jobs 4        # whole registry, campaign engine
     python -m repro.cli campaign --backend process --jobs 4 --cache-dir .diode-cache
     python -m repro.cli campaign --corpus-dir .diode-corpus --skip-known
+    python -m repro.cli campaign --trace-dir .diode-trace  # structured run trace
     python -m repro.cli replay --corpus-dir .diode-corpus  # regression replay
+    python -m repro.cli trace --trace-dir .diode-trace     # render the trace
 
 The CLI is a thin layer over :class:`repro.core.engine.Diode`,
 :class:`repro.core.campaign.CampaignEngine` and the witness-triage
@@ -167,6 +169,22 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _store_block(metrics: Optional[dict]) -> dict:
+    """The ``store`` summary of a campaign's metrics delta (lock visibility)."""
+    from repro.obs.metrics import counter_value, histogram_stats
+
+    _, lock_wait = histogram_stats(metrics or {}, "store.lock_wait_seconds")
+    return {
+        "loads": counter_value(metrics or {}, "store.loads"),
+        "saves": counter_value(metrics or {}, "store.saves"),
+        "records_loaded": counter_value(metrics or {}, "store.records_loaded"),
+        "records_saved": counter_value(metrics or {}, "store.records_saved"),
+        "lock_acquires": counter_value(metrics or {}, "store.lock_acquires"),
+        "lock_breaks": counter_value(metrics or {}, "store.lock_breaks"),
+        "lock_wait_seconds": round(lock_wait, 6),
+    }
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.no_cache and args.cache_dir:
         print(
@@ -193,6 +211,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         save_corpus=not args.no_save_corpus,
         minimize_witnesses=not args.no_minimize,
         skip_known=args.skip_known,
+        trace_dir=args.trace_dir,
     )
     if args.no_incremental:
         config.diode.solver.enable_sessions = False
@@ -218,6 +237,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 result.cache_stats.as_dict() if result.cache_stats else None
             ),
             "solver": result.solver_telemetry,
+            "metrics": result.metrics,
+            "store": _store_block(result.metrics),
+            "trace_dir": args.trace_dir,
             "cache_store": (
                 {
                     "dir": args.cache_dir,
@@ -307,6 +329,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"cache store {args.cache_dir}: warm-started {result.cache_loaded} "
             f"entries, saved {result.cache_saved}"
         )
+    store = _store_block(result.metrics)
+    if store["lock_acquires"]:
+        print(
+            f"store locks: {store['lock_acquires']} acquired "
+            f"({store['lock_wait_seconds']:.3f}s total wait), "
+            f"{store['lock_breaks']} stale broken"
+        )
+    if args.trace_dir:
+        print(
+            f"trace written to {args.trace_dir} "
+            f"(render with: python -m repro.cli trace --trace-dir {args.trace_dir})"
+        )
     if result.triage_stats is not None:
         stats = result.triage_stats
         print(
@@ -387,6 +421,84 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"{report.wall_seconds:.2f}s: {summary}"
         )
     return 1 if args.strict and report.regressions else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        chrome_trace_events,
+        load_trace_dir,
+        stage_summaries,
+        unit_summaries,
+    )
+
+    data = load_trace_dir(args.trace_dir)
+    if data.error:
+        print(data.error, file=sys.stderr)
+        return 2
+    stages = stage_summaries(data)
+    units = unit_summaries(data)
+
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace_events(data), handle)
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "trace_dir": data.trace_dir,
+            "files": data.files,
+            "records": len(data.records),
+            "invalid_records": data.invalid_records,
+            "spans": len(data.spans),
+            "events": len(data.events),
+            "units": len(units),
+            "stages": [stage.as_dict() for stage in stages],
+            "stragglers": [unit.as_dict() for unit in units[: args.top]],
+            "chrome": args.chrome,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    line = (
+        f"trace {data.trace_dir}: {len(data.records)} records "
+        f"({len(data.spans)} spans, {len(data.events)} events) "
+        f"from {data.files} file(s)"
+    )
+    if data.invalid_records:
+        line += f"; {data.invalid_records} invalid record(s) skipped"
+    print(line)
+
+    if stages:
+        print(f"\n{'Stage':24s} {'Count':>7s} {'Total':>9s} {'Mean':>9s} {'Max':>9s}")
+        for stage in stages:
+            print(
+                f"{stage.name:24s} {stage.count:>7d} "
+                f"{stage.total_seconds:>8.3f}s {stage.mean_seconds():>8.4f}s "
+                f"{stage.max_seconds:>8.4f}s"
+            )
+
+    stragglers = units[: args.top]
+    if stragglers:
+        print(f"\nslowest {len(stragglers)} of {len(units)} unit(s):")
+        for unit in stragglers:
+            breakdown = ", ".join(
+                f"{name} {seconds:.3f}s"
+                for name, seconds in sorted(
+                    unit.stages.items(), key=lambda item: -item[1]
+                )
+            )
+            print(
+                f"  {unit.application:20s} {unit.site:28s} "
+                f"{unit.duration_seconds:>8.3f}s [{unit.backend}]"
+                + (f"  ({breakdown})" if breakdown else "")
+            )
+
+    if args.chrome:
+        print(
+            f"\nChrome trace written to {args.chrome} "
+            "(open in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,6 +635,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="APP",
         help="restrict the campaign to these applications",
     )
+    campaign.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write a structured trace of the run to DIR (meta.json plus one "
+            "spans-<pid>.jsonl per process, including process-backend "
+            "workers); render afterwards with the trace subcommand"
+        ),
+    )
     campaign.add_argument("--json", action="store_true", help="emit JSON")
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -558,6 +680,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--json", action="store_true", help="emit JSON")
     replay.set_defaults(func=_cmd_replay)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "render a campaign trace directory: per-stage summary, "
+            "straggler top-N, optional Chrome trace-event export"
+        ),
+    )
+    trace.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        required=True,
+        help="the trace directory a campaign wrote with --trace-dir",
+    )
+    trace.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="how many straggler units to list (default: 5)",
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also export the trace as Chrome trace-event JSON to FILE "
+            "(chrome://tracing / Perfetto compatible)"
+        ),
+    )
+    trace.add_argument("--json", action="store_true", help="emit JSON")
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

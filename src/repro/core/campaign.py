@@ -70,6 +70,8 @@ from repro.core.report import (
     SiteClassification,
     SiteResult,
 )
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER, JsonlSink, ensure_trace_dir
 from repro.sched import (
     ApplicationContext,
     CampaignUnit,
@@ -96,7 +98,25 @@ __all__ = [
     "CampaignUnit",
     "UnitAnalysisError",
     "run_campaign",
+    "telemetry_delta",
 ]
+
+
+def telemetry_delta(
+    mark: Dict[str, float], final: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-key ``final - mark`` over the *union* of both key sets.
+
+    Snapshot key sets may differ across a run (a telemetry schema that
+    grew a counter mid-process, a mark taken before any solver ran): a key
+    only in ``final`` counts from zero, and a key only in ``mark`` is
+    reported as its negation rather than silently dropped — a delta must
+    never lose a key it was marked against.
+    """
+    return {
+        key: round(final.get(key, 0) - mark.get(key, 0), 6)
+        for key in sorted(set(mark) | set(final))
+    }
 
 
 @dataclass
@@ -134,6 +154,12 @@ class CampaignConfig:
     #: through enforcement; sites whose witness no longer replays fall back
     #: to full analysis.  Requires ``corpus_dir``.
     skip_known: bool = False
+    #: Directory receiving this run's structured trace (``meta.json`` plus
+    #: one ``spans-<pid>.jsonl`` per participating process; see
+    #: :mod:`repro.obs.trace`).  ``None`` disables the trace sink — stage
+    #: duration histograms in :data:`repro.obs.metrics.METRICS` are
+    #: recorded either way.  Rendered afterwards by ``repro trace``.
+    trace_dir: Optional[str] = None
 
     def resolved_jobs(self) -> int:
         if self.jobs is None:
@@ -192,6 +218,14 @@ class CampaignResult:
     #: pruned, sessions reused).  Counts this process only — the
     #: ``process`` backend's workers solve in their own interpreters.
     solver_telemetry: Optional[Dict[str, float]] = None
+    #: Wire-form delta of the campaign-wide metrics registry
+    #: (:data:`repro.obs.metrics.METRICS`) across the run — stage timers,
+    #: store/lock activity, solver counters.  Unlike ``solver_telemetry``
+    #: this *does* include process-backend workers: each unit ships its
+    #: registry delta back beside its cache delta and the parent merges
+    #: them, so counter totals are identical for any backend and worker
+    #: count on schedule-independent workloads.
+    metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> List[Dict[str, int]]:
@@ -241,7 +275,29 @@ class CampaignEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
-        """Run the campaign and return the aggregate report."""
+        """Run the campaign and return the aggregate report.
+
+        With a ``trace_dir`` the run attaches a JSONL trace sink for its
+        duration (the process backend additionally configures one per
+        worker).  Observability is passive: the report is byte-identical
+        with tracing on or off.
+        """
+        sink: Optional[JsonlSink] = None
+        if self.config.trace_dir:
+            ensure_trace_dir(self.config.trace_dir)
+            sink = JsonlSink(self.config.trace_dir)
+            TRACER.add_sink(sink)
+        try:
+            with TRACER.span(
+                "campaign", backend=self.config.backend
+            ):
+                return self._run()
+        finally:
+            if sink is not None:
+                TRACER.remove_sink(sink)
+                sink.close()
+
+    def _run(self) -> CampaignResult:
         started = time.perf_counter()
         if self.config.skip_known and not self.config.corpus_dir:
             raise ValueError("CampaignConfig.skip_known requires a corpus_dir")
@@ -267,6 +323,7 @@ class CampaignEngine:
             corpus_records = corpus_store.load()
 
         telemetry_mark = TELEMETRY.snapshot()
+        metrics_mark = METRICS.snapshot()
         with simplify_memo(enabled=self.config.use_cache):
             contexts = self._build_contexts()
             skipped: Dict["Slot", SiteResult] = {}
@@ -293,13 +350,11 @@ class CampaignEngine:
                 application_names=self.config.registry_names(),
                 triage=self.config.triage,
                 minimize_witnesses=self.config.minimize_witnesses,
+                trace_dir=self.config.trace_dir,
             )
             site_results = get_backend(backend_name).run_units(request)
             site_results.update(skipped)
-        telemetry = {
-            key: round(value - telemetry_mark.get(key, 0), 6)
-            for key, value in TELEMETRY.snapshot().items()
-        }
+        telemetry = telemetry_delta(telemetry_mark, TELEMETRY.snapshot())
 
         if store is not None and self.config.save_cache:
             saved = store.save(cache, fingerprint)
@@ -343,15 +398,16 @@ class CampaignEngine:
             corpus_saved=corpus_saved,
             skipped_known=len(skipped),
             solver_telemetry=telemetry,
+            metrics=METRICS.delta(metrics_mark),
         )
 
     # ------------------------------------------------------------------
     def _build_contexts(self) -> List[ApplicationContext]:
+        with TRACER.span("parse"):
+            applications = build_applications(self.config.applications)
         return [
             build_application_context(index, application)
-            for index, application in enumerate(
-                build_applications(self.config.applications)
-            )
+            for index, application in enumerate(applications)
         ]
 
     # ------------------------------------------------------------------

@@ -68,6 +68,7 @@ from repro.core.detection import CandidateEvaluation, ErrorDetector
 from repro.core.inputs import GeneratedInput, InputGenerator
 from repro.core.overflow import OverflowSpec, overflow_constraint
 from repro.core.target import TargetObservation
+from repro.obs.trace import TRACER
 from repro.smt import builder as smt
 from repro.smt.sampler import split_conjuncts
 from repro.smt.simplify import simplify
@@ -189,6 +190,10 @@ class GoalDirectedEnforcer:
     # ------------------------------------------------------------------
     def run(self, observation: TargetObservation) -> EnforcementResult:
         """Run the algorithm for one ⟨target expression, seed path⟩ pair."""
+        with TRACER.span("enforce", site=observation.site.site_label):
+            return self._run(observation)
+
+    def _run(self, observation: TargetObservation) -> EnforcementResult:
         started = time.perf_counter()
         site_label = observation.site.site_label
 
@@ -231,7 +236,8 @@ class GoalDirectedEnforcer:
             return self._finish(result, started)
 
         candidate = self.input_generator.generate(solver_result.model)
-        evaluation = self.detector.evaluate(candidate.data, site_label)
+        with TRACER.span("screen", site=site_label, iteration=0):
+            evaluation = self.detector.evaluate(candidate.data, site_label)
         result.steps.append(
             EnforcementStep(
                 iteration=0,
@@ -296,7 +302,8 @@ class GoalDirectedEnforcer:
                 return self._finish(result, started)
 
             candidate = self.input_generator.generate(solver_result.model)
-            evaluation = self.detector.evaluate(candidate.data, site_label)
+            with TRACER.span("screen", site=site_label, iteration=iteration):
+                evaluation = self.detector.evaluate(candidate.data, site_label)
             result.steps.append(
                 EnforcementStep(
                     iteration=iteration,

@@ -39,6 +39,7 @@ from repro.core.report import (
 )
 from repro.core.sites import TargetSite, identify_target_sites
 from repro.core.target import TargetObservation, extract_target_observations
+from repro.obs.trace import TRACER
 from repro.smt.cache import SolverCache
 from repro.smt.solver import PortfolioSolver, SolverConfig
 
@@ -102,13 +103,14 @@ def analyze_site(
     seed = application.seed_input
     mapper = field_mapper or FieldMapper(application.format_spec)
 
-    observations = extract_target_observations(
-        program,
-        seed,
-        site,
-        field_mapper=mapper,
-        max_observations=config.max_observations_per_site,
-    )
+    with TRACER.span("concolic", site=site.name):
+        observations = extract_target_observations(
+            program,
+            seed,
+            site,
+            field_mapper=mapper,
+            max_observations=config.max_observations_per_site,
+        )
 
     solver = PortfolioSolver(config.solver, cache=solver_cache)
     generator = InputGenerator(seed, application.format_spec)

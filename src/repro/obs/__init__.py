@@ -1,0 +1,70 @@
+"""Campaign-wide observability: metrics, spans, trace sinks, reporting.
+
+Three modules, layered bottom-up (none of them imports anything else from
+:mod:`repro`, so every other layer — solver, store, scheduler, campaign —
+may instrument itself freely without import cycles):
+
+* :mod:`repro.obs.metrics` — the process-global :data:`~repro.obs.metrics.METRICS`
+  registry (counters, gauges, fixed-bucket duration histograms) whose
+  snapshots delta and merge losslessly across process-backend workers;
+* :mod:`repro.obs.trace` — the process-global :data:`~repro.obs.trace.TRACER`
+  (nestable stage spans, structured events) over pluggable sinks
+  (in-memory collector, schema-versioned JSONL trace directory);
+* :mod:`repro.obs.report` — the re-runnable report step behind the
+  ``repro trace`` CLI subcommand (per-stage summary, straggler top-N,
+  Chrome trace-event export).
+
+The contract every instrumented layer relies on: **observability is
+passive** — identical site classifications with tracing on or off, and
+deterministic metric totals regardless of backend worker count for
+schedule-independent workloads (gated by CI and
+``benchmarks/bench_observability.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    METRICS,
+    METRICS_WIRE_VERSION,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+)
+from repro.obs.report import (
+    StageSummary,
+    TraceData,
+    UnitSummary,
+    chrome_trace_events,
+    load_trace_dir,
+    stage_summaries,
+    unit_summaries,
+)
+from repro.obs.trace import (
+    TRACER,
+    TRACE_SCHEMA_VERSION,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    validate_record,
+)
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "METRICS",
+    "METRICS_WIRE_VERSION",
+    "MetricsRegistry",
+    "StageSummary",
+    "TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "TraceData",
+    "Tracer",
+    "UnitSummary",
+    "chrome_trace_events",
+    "diff_snapshots",
+    "load_trace_dir",
+    "merge_snapshots",
+    "stage_summaries",
+    "unit_summaries",
+    "validate_record",
+]

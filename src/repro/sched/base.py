@@ -87,20 +87,35 @@ class UnitRunRequest:
     #: WitnessRecord`` (``None`` = the report failed witness re-validation).
     #: Slots absent from this mapping are triaged by the campaign engine.
     witness_results: Dict[Slot, Optional[dict]] = field(default_factory=dict)
+    #: Trace directory for this run (``campaign --trace-dir``).  In-process
+    #: backends inherit the campaign's already-attached sink; the process
+    #: backend ships this path to workers so each attaches its own
+    #: ``spans-<pid>.jsonl`` sink.
+    trace_dir: Optional[str] = None
 
-    def run_unit(self, unit: CampaignUnit) -> "SiteResult":
+    def run_unit(self, unit: CampaignUnit, backend: str = "") -> "SiteResult":
         """Execute one unit in-process against the shared contexts."""
         from repro.core.engine import analyze_site
+        from repro.obs.metrics import METRICS
+        from repro.obs.trace import TRACER
 
         context = self.contexts[unit.app_index]
-        return analyze_site(
-            context.application,
-            context.sites[unit.site_index],
-            self.diode,
-            solver_cache=self.cache,
-            detector=context.detector,
-            field_mapper=context.mapper,
-        )
+        with TRACER.span(
+            "unit",
+            application=unit.application_name,
+            site=unit.site_name,
+            backend=backend,
+        ):
+            result = analyze_site(
+                context.application,
+                context.sites[unit.site_index],
+                self.diode,
+                solver_cache=self.cache,
+                detector=context.detector,
+                field_mapper=context.mapper,
+            )
+        METRICS.counter("campaign.units_completed").inc()
+        return result
 
     def worker_count(self) -> int:
         """Workers actually worth spawning for this unit list."""

@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
+from repro.obs.trace import TRACER
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apps.appbase import Application
     from repro.core.detection import ErrorDetector
@@ -42,7 +44,10 @@ def build_application_context(
     from repro.core.sites import identify_target_sites
 
     identify_started = time.perf_counter()
-    sites = identify_target_sites(application.program, application.seed_input)
+    with TRACER.span("taint", application=application.name):
+        sites = identify_target_sites(
+            application.program, application.seed_input
+        )
     analysis_seconds = time.perf_counter() - identify_started
     return ApplicationContext(
         index=index,

@@ -97,7 +97,9 @@ class _WorkerState:
         seed_entries: List[dict],
         triage: bool = False,
         minimize_witnesses: bool = True,
+        trace_dir: Optional[str] = None,
     ) -> None:
+        from repro.obs.metrics import METRICS
         from repro.smt.cache import SimplifyMemo, SolverCache
 
         self.application_names = application_names
@@ -107,6 +109,15 @@ class _WorkerState:
         self.triage = triage
         self.minimize_witnesses = minimize_witnesses
         self.triagers: Dict[int, object] = {}
+        #: Registry wire mark for per-unit metric deltas (the worker-side
+        #: half of the campaign's metric aggregation).
+        self.metrics_mark: dict = METRICS.snapshot()
+        if trace_dir:
+            from repro.obs.trace import TRACER, JsonlSink
+
+            # Each worker appends to its own spans-<pid>.jsonl; the sink
+            # lives for the worker's lifetime and dies with the pool.
+            TRACER.add_sink(JsonlSink(trace_dir))
         #: ``(kind, key)`` pairs already shipped to the parent — all four
         #: artifact kinds (whole-query, component, UNSAT core, CNF
         #: skeleton) travel through the same delta stream.
@@ -161,31 +172,47 @@ def _worker_init(
     seed_entries: List[dict],
     triage: bool = False,
     minimize_witnesses: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> None:
     global _STATE
     _STATE = _WorkerState(
-        application_names, diode, use_cache, seed_entries, triage, minimize_witnesses
+        application_names,
+        diode,
+        use_cache,
+        seed_entries,
+        triage,
+        minimize_witnesses,
+        trace_dir,
     )
 
 
 def _worker_run(
     unit: CampaignUnit,
-) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...], Optional[dict]]:
-    """Analyze one unit in the worker; return payload + cache/witness deltas."""
+) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...], Optional[dict], dict]:
+    """Analyze one unit in the worker; return payload + cache/witness/metric deltas."""
     from repro.core.engine import analyze_site
+    from repro.obs.metrics import METRICS, diff_snapshots
+    from repro.obs.trace import TRACER
 
     state = _STATE
     if state is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("process backend worker used before initialization")
     context = state.context_for(unit.app_index)
-    result = analyze_site(
-        context.application,
-        context.sites[unit.site_index],
-        state.diode,
-        solver_cache=state.cache,
-        detector=context.detector,
-        field_mapper=context.mapper,
-    )
+    with TRACER.span(
+        "unit",
+        application=unit.application_name,
+        site=unit.site_name,
+        backend="process",
+    ):
+        result = analyze_site(
+            context.application,
+            context.sites[unit.site_index],
+            state.diode,
+            solver_cache=state.cache,
+            detector=context.detector,
+            field_mapper=context.mapper,
+        )
+    METRICS.counter("campaign.units_completed").inc()
 
     delta: List[dict] = []
     stats_delta: Tuple[int, ...] = (0,) * _STATS_FIELDS
@@ -206,11 +233,17 @@ def _worker_run(
             context.sites[unit.site_index], result.bug_report
         )
         witness_wire = None if record is None else record.to_wire()
+
+    # Last, so the delta also covers triage/cache work done above.
+    snapshot = METRICS.snapshot()
+    metrics_wire = diff_snapshots(state.metrics_mark, snapshot)
+    state.metrics_mark = snapshot
     return (
         SiteResultPayload.from_site_result(result),
         delta,
         stats_delta,
         witness_wire,
+        metrics_wire,
     )
 
 
@@ -236,6 +269,7 @@ class ProcessBackend(Backend):
                 seed_entries,
                 request.triage,
                 request.minimize_witnesses,
+                request.trace_dir,
             ),
         ) as executor:
             futures = [
@@ -243,8 +277,10 @@ class ProcessBackend(Backend):
             ]
             payloads = drain_futures(request.units, futures)
 
+        from repro.obs.metrics import METRICS
+
         results: Dict[Slot, object] = {}
-        for unit, (payload, delta, stats_delta, witness_wire) in zip(
+        for unit, (payload, delta, stats_delta, witness_wire, metrics_wire) in zip(
             request.units, payloads
         ):
             slot = (unit.app_index, unit.site_index)
@@ -258,4 +294,7 @@ class ProcessBackend(Backend):
                 request.cache.add_external_stats(*stats_delta)
             if request.triage and payload.bug_report is not None:
                 request.witness_results[slot] = witness_wire
+            # Merge order cannot matter: counters/histogram buckets are
+            # integers and add, gauges take max (see repro.obs.metrics).
+            METRICS.merge(metrics_wire)
         return results

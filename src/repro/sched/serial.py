@@ -21,7 +21,9 @@ class SerialBackend(Backend):
         results: Dict[Slot, object] = {}
         for unit in request.units:
             try:
-                results[(unit.app_index, unit.site_index)] = request.run_unit(unit)
+                results[(unit.app_index, unit.site_index)] = request.run_unit(
+                    unit, backend=self.name
+                )
             except Exception as exc:
                 # Serial semantics match drain_futures: later units are
                 # "pending" and simply never start.

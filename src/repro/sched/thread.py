@@ -10,10 +10,18 @@ backend exists.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict
 
-from repro.sched.base import Backend, Slot, UnitRunRequest, drain_futures
+from repro.obs.metrics import METRICS
+from repro.sched.base import (
+    Backend,
+    CampaignUnit,
+    Slot,
+    UnitRunRequest,
+    drain_futures,
+)
 
 
 class ThreadBackend(Backend):
@@ -21,10 +29,21 @@ class ThreadBackend(Backend):
 
     name = "thread"
 
+    def _run_queued(
+        self, request: UnitRunRequest, unit: CampaignUnit, submitted: float
+    ):
+        # Time between submission and a worker thread picking the unit up:
+        # the queue-depth signal a fleet scheduler sizes its pool by.
+        METRICS.histogram("sched.queue_wait_seconds").observe(
+            time.perf_counter() - submitted
+        )
+        return request.run_unit(unit, backend=self.name)
+
     def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
         with ThreadPoolExecutor(max_workers=request.worker_count()) as executor:
             futures = [
-                executor.submit(request.run_unit, unit) for unit in request.units
+                executor.submit(self._run_queued, request, unit, time.perf_counter())
+                for unit in request.units
             ]
             payloads = drain_futures(request.units, futures)
         return {

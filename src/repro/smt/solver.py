@@ -52,6 +52,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.smt import builder as b
 from repro.smt.bitblast import BitBlaster, BitBlastError
 from repro.smt.cache import CachedVerdict, SolverCache
@@ -175,89 +177,120 @@ class SolverConfig:
 
 
 class SolverTelemetry:
-    """Process-wide counters for the complete backend (bench / CI probes).
+    """Compatibility shim over the campaign-wide metrics registry.
 
-    The campaign engine builds one short-lived :class:`PortfolioSolver` per
-    site, so per-instance counters cannot describe a whole run; these
-    aggregate across every solver and session in the process.  All methods
-    are thread-safe; counters are monotonic between :meth:`reset` calls.
+    Historically this class held its own process-wide counters; they now
+    live in :data:`repro.obs.metrics.METRICS` under ``solver.*`` names, so
+    solver effort aggregates with every other layer's metrics, travels
+    through the process-backend wire beside cache deltas, and shows up in
+    trace reports.  The shim preserves the original API — ``record_*``
+    methods, a flat :meth:`snapshot` dict with the legacy key names, and
+    :meth:`reset` — for the benchmarks and tests built on it.
+
+    :meth:`reset` is mark-based: the registry's counters stay monotonic
+    (other observers may be mid-delta), and the shim subtracts its mark,
+    so the observable semantics — counters monotonic between resets — are
+    unchanged.  All methods are thread-safe.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    #: legacy snapshot key -> registry counter name (snapshot order).
+    _COUNTERS = {
+        "queries": "solver.queries",
+        "session_checks": "solver.session_checks",
+        "bitblast_calls": "solver.bitblast_calls",
+        "cdcl_conflicts": "solver.cdcl_conflicts",
+        "cdcl_decisions": "solver.cdcl_decisions",
+        "cdcl_propagations": "solver.cdcl_propagations",
+        "cores_extracted": "solver.cores_extracted",
+        "core_pruned_candidates": "solver.core_pruned_candidates",
+        "sessions_reused": "solver.sessions_reused",
+        "skeleton_hits": "solver.skeleton_hits",
+        "skeleton_stores": "solver.skeleton_stores",
+    }
+
+    #: Registry histogram behind the legacy ``bitblast_seconds`` float.
+    _BITBLAST_HISTOGRAM = "solver.bitblast.seconds"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else METRICS
+        self._mark: Dict[str, int] = {}
         self.reset()
 
-    def reset(self) -> None:
-        with self._lock:
-            self.queries = 0
-            self.session_checks = 0
-            self.bitblast_calls = 0
-            self.bitblast_seconds = 0.0
-            self.cdcl_conflicts = 0
-            self.cdcl_decisions = 0
-            self.cdcl_propagations = 0
-            self.cores_extracted = 0
-            self.core_pruned_candidates = 0
-            self.sessions_reused = 0
-            self.skeleton_hits = 0
-            self.skeleton_stores = 0
+    # ------------------------------------------------------------------
+    def _raw(self) -> Dict[str, int]:
+        """Registry-level raw values for every legacy key (ns for time)."""
+        raw = {
+            key: self._registry.counter(name).value
+            for key, name in self._COUNTERS.items()
+        }
+        raw["bitblast_seconds"] = self._registry.histogram(
+            self._BITBLAST_HISTOGRAM
+        ).sum_nanos
+        return raw
 
+    def reset(self) -> None:
+        self._mark = self._raw()
+
+    # ------------------------------------------------------------------
     def record_query(self, session: bool) -> None:
-        with self._lock:
-            self.queries += 1
-            if session:
-                self.session_checks += 1
+        self._registry.counter("solver.queries").inc()
+        if session:
+            self._registry.counter("solver.session_checks").inc()
 
     def record_core_extracted(self) -> None:
         """An enforcement loop accumulated a new UNSAT core."""
-        with self._lock:
-            self.cores_extracted += 1
+        self._registry.counter("solver.cores_extracted").inc()
 
     def record_core_pruned(self) -> None:
         """An enforcement candidate query was answered by core subsumption."""
-        with self._lock:
-            self.core_pruned_candidates += 1
+        self._registry.counter("solver.core_pruned_candidates").inc()
 
     def record_session_reuse(self) -> None:
         """A per-site session was reused for another observation."""
-        with self._lock:
-            self.sessions_reused += 1
+        self._registry.counter("solver.sessions_reused").inc()
 
     def record_skeleton_hit(self) -> None:
         """A bit-blast was replayed from a stored CNF skeleton."""
-        with self._lock:
-            self.skeleton_hits += 1
+        self._registry.counter("solver.skeleton_hits").inc()
 
     def record_skeleton_store(self) -> None:
         """A fresh bit-blast's CNF skeleton was stored for reuse."""
-        with self._lock:
-            self.skeleton_stores += 1
+        self._registry.counter("solver.skeleton_stores").inc()
 
     def record_bitblast(self, elapsed: float, result: Optional[SatResult]) -> None:
-        with self._lock:
-            self.bitblast_calls += 1
-            self.bitblast_seconds += elapsed
-            if result is not None:
-                self.cdcl_conflicts += result.conflicts
-                self.cdcl_decisions += result.decisions
-                self.cdcl_propagations += result.propagations
+        self._registry.counter("solver.bitblast_calls").inc()
+        self._registry.histogram(self._BITBLAST_HISTOGRAM).observe(elapsed)
+        if result is not None:
+            self._registry.counter("solver.cdcl_conflicts").inc(result.conflicts)
+            self._registry.counter("solver.cdcl_decisions").inc(result.decisions)
+            self._registry.counter("solver.cdcl_propagations").inc(
+                result.propagations
+            )
 
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:
-        with self._lock:
-            return {
-                "queries": self.queries,
-                "session_checks": self.session_checks,
-                "bitblast_calls": self.bitblast_calls,
-                "bitblast_seconds": round(self.bitblast_seconds, 6),
-                "cdcl_conflicts": self.cdcl_conflicts,
-                "cdcl_decisions": self.cdcl_decisions,
-                "cdcl_propagations": self.cdcl_propagations,
-                "cores_extracted": self.cores_extracted,
-                "core_pruned_candidates": self.core_pruned_candidates,
-                "sessions_reused": self.sessions_reused,
-                "skeleton_hits": self.skeleton_hits,
-                "skeleton_stores": self.skeleton_stores,
-            }
+        raw = self._raw()
+        out: Dict[str, float] = {}
+        for key in (
+            "queries",
+            "session_checks",
+            "bitblast_calls",
+            "bitblast_seconds",
+            "cdcl_conflicts",
+            "cdcl_decisions",
+            "cdcl_propagations",
+            "cores_extracted",
+            "core_pruned_candidates",
+            "sessions_reused",
+            "skeleton_hits",
+            "skeleton_stores",
+        ):
+            value = raw[key] - self._mark.get(key, 0)
+            if key == "bitblast_seconds":
+                out[key] = round(value / 1e9, 6)
+            else:
+                out[key] = value
+        return out
 
 
 #: The process-wide telemetry instance (see :class:`SolverTelemetry`).
@@ -365,27 +398,28 @@ class PortfolioSolver:
     # ------------------------------------------------------------------
     def check(self, constraints: Iterable[Term]) -> SolverResult:
         """Decide the conjunction of ``constraints``."""
-        started = time.perf_counter()
-        self.query_count += 1
-        TELEMETRY.record_query(session=False)
-        constraint_list = [simplify(c) for c in constraints]
-        stages: List[str] = []
+        with TRACER.span("solve", session=False):
+            started = time.perf_counter()
+            self.query_count += 1
+            TELEMETRY.record_query(session=False)
+            constraint_list = [simplify(c) for c in constraints]
+            stages: List[str] = []
 
-        # Layer 1: simplification may already decide the query.
-        stages.append("simplify")
-        decided = self._decide_by_simplification(constraint_list)
-        if decided is not None:
-            return self._finish(decided, started, stages)
+            # Layer 1: simplification may already decide the query.
+            stages.append("simplify")
+            decided = self._decide_by_simplification(constraint_list)
+            if decided is not None:
+                return self._finish(decided, started, stages)
 
-        conjuncts: List[Term] = []
-        for constraint in constraint_list:
-            conjuncts.extend(split_conjuncts(constraint))
+            conjuncts: List[Term] = []
+            for constraint in constraint_list:
+                conjuncts.extend(split_conjuncts(constraint))
 
-        if self.cache is not None:
-            return self._check_cached(conjuncts, started, stages)
-        return self._finish(
-            self._solve_conjuncts(conjuncts, stages), started, stages
-        )
+            if self.cache is not None:
+                return self._check_cached(conjuncts, started, stages)
+            return self._finish(
+                self._solve_conjuncts(conjuncts, stages), started, stages
+            )
 
     def open_session(self) -> "SolverSession":
         """Create an incremental push/pop session backed by this solver.
@@ -398,24 +432,25 @@ class PortfolioSolver:
 
     def _check_session(self, session: "SolverSession") -> SolverResult:
         """Decide a session's conjunction (see :meth:`SolverSession.check`)."""
-        started = time.perf_counter()
-        self.query_count += 1
-        TELEMETRY.record_query(session=True)
-        stages: List[str] = ["simplify"]
-        conjuncts = list(session.conjuncts)
+        with TRACER.span("solve", session=True):
+            started = time.perf_counter()
+            self.query_count += 1
+            TELEMETRY.record_query(session=True)
+            stages: List[str] = ["simplify"]
+            conjuncts = list(session.conjuncts)
 
-        decided = self._decide_by_simplification(conjuncts)
-        if decided is not None:
-            return self._finish(decided, started, stages)
-        if self.cache is not None:
-            return self._check_cached(
-                conjuncts, started, stages, bitblast_fn=session
+            decided = self._decide_by_simplification(conjuncts)
+            if decided is not None:
+                return self._finish(decided, started, stages)
+            if self.cache is not None:
+                return self._check_cached(
+                    conjuncts, started, stages, bitblast_fn=session
+                )
+            return self._finish(
+                self._solve_conjuncts(conjuncts, stages, session),
+                started,
+                stages,
             )
-        return self._finish(
-            self._solve_conjuncts(conjuncts, stages, session),
-            started,
-            stages,
-        )
 
     def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
         """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""

@@ -46,6 +46,8 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.store.locking import (
     DEFAULT_POLL_SECONDS,
     DEFAULT_TIMEOUT_SECONDS,
@@ -159,6 +161,13 @@ class ArtifactStore:
         shard loses its records, never the store; malformed envelopes are
         skipped individually.
         """
+        with TRACER.span("store.load", root=self.root):
+            records = self._load(fingerprint_wire)
+        METRICS.counter("store.loads").inc()
+        METRICS.counter("store.records_loaded").inc(len(records))
+        return records
+
+    def _load(self, fingerprint_wire) -> List[StoreRecord]:
         meta = self.read_meta()
         if not self._meta_matches(meta, fingerprint_wire):
             return []
@@ -211,6 +220,21 @@ class ArtifactStore:
         payloads are equal for every codec without bespoke merge
         semantics).
         """
+        incoming = list(records)
+        with TRACER.span("store.save", root=self.root):
+            total = self._save(fingerprint_wire, incoming, merge_record, replace)
+        METRICS.counter("store.saves").inc()
+        METRICS.counter("store.records_saved").inc(len(incoming))
+        METRICS.gauge("store.entries").set(total)
+        return total
+
+    def _save(
+        self,
+        fingerprint_wire,
+        records: List[StoreRecord],
+        merge_record: Optional[MergeFn],
+        replace: bool,
+    ) -> int:
         os.makedirs(self.root, exist_ok=True)
         with self._lock():
             combined: Dict[Tuple[str, str], object] = {}

@@ -34,6 +34,9 @@ import itertools
 import os
 import time
 
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+
 __all__ = ["DirectoryLock"]
 
 #: How long a waiter tolerates a lock whose identity never changes before
@@ -78,6 +81,7 @@ class DirectoryLock:
         """Block until this process holds the lock."""
         if self._fd is not None:
             raise RuntimeError(f"lock {self.path!r} is already held")
+        waited_from = time.perf_counter()
         deadline = time.monotonic() + self.timeout
         watched = None
         while True:
@@ -88,6 +92,10 @@ class DirectoryLock:
             else:
                 os.write(fd, str(os.getpid()).encode("ascii"))
                 self._fd = fd
+                METRICS.counter("store.lock_acquires").inc()
+                METRICS.histogram("store.lock_wait_seconds").observe(
+                    time.perf_counter() - waited_from
+                )
                 return
             try:
                 stat = os.stat(self.path)
@@ -133,6 +141,8 @@ class DirectoryLock:
             os.rename(self.path, aside)
         except OSError:
             return
+        METRICS.counter("store.lock_breaks").inc()
+        TRACER.event("store.lock_break", path=self.path)
         try:
             os.remove(aside)
         except FileNotFoundError:  # pragma: no cover - defensive

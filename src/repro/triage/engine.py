@@ -36,6 +36,7 @@ from repro.core.inputs import InputGenerator
 from repro.core.report import OverflowBugReport
 from repro.core.sites import TargetSite, identify_target_sites
 from repro.formats.spec import FormatError
+from repro.obs.trace import TRACER
 from repro.triage.corpus import (
     STATUS_FRESH,
     STATUS_NO_LONGER_TRIGGERS,
@@ -155,6 +156,14 @@ class WitnessTriager:
         self, site: TargetSite, report: OverflowBugReport
     ) -> Optional[WitnessRecord]:
         """Validate, minimize and sign one bug report; ``None`` if bogus."""
+        with TRACER.span(
+            "triage", application=self.application.name, site=site.name
+        ):
+            return self._triage(site, report)
+
+    def _triage(
+        self, site: TargetSite, report: OverflowBugReport
+    ) -> Optional[WitnessRecord]:
         field_values = dict(report.triggering_field_values)
 
         if self.minimize:

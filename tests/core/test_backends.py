@@ -145,7 +145,7 @@ class TestFailureSemantics:
         request = _make_request()
         executed = []
 
-        def exploding(unit):
+        def exploding(unit, backend=""):
             executed.append(unit.site_name)
             if len(executed) == 2:
                 raise RuntimeError("solver meltdown")
@@ -168,7 +168,7 @@ class TestFailureSemantics:
         request = _make_request(jobs=1)
         executed = []
 
-        def exploding(unit):
+        def exploding(unit, backend=""):
             executed.append(unit.site_name)
             raise RuntimeError("first unit fails")
 

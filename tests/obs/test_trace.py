@@ -1,0 +1,229 @@
+"""Spans, sinks and the trace-directory reader.
+
+Covers the tracer's nesting/attribute contract through both sinks, the
+record schema validator the CI smoke job relies on, and the report
+aggregations (stage summaries, unit rollups with direct-child-only
+accounting, Chrome export).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import METRICS
+from repro.obs.report import (
+    chrome_trace_events,
+    load_trace_dir,
+    stage_summaries,
+    unit_summaries,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    ensure_trace_dir,
+    validate_record,
+)
+
+
+def _traced(tracer_actions):
+    """Run ``tracer_actions(tracer)`` against a fresh in-memory sink."""
+    tracer = Tracer()
+    sink = InMemorySink()
+    tracer.add_sink(sink)
+    tracer_actions(tracer)
+    return sink.records
+
+
+class TestTracer:
+    def test_span_records_nesting_and_attributes(self):
+        def actions(tracer):
+            with tracer.span("unit", application="dillo", site="png.c@203"):
+                with tracer.span("solve", session=True):
+                    pass
+                tracer.event("store.lock_break", path="/tmp/x")
+
+        records = _traced(actions)
+        assert [r["name"] for r in records] == ["solve", "store.lock_break", "unit"]
+        solve, event, unit = records
+        # Children close (and emit) before their parent, but link to it.
+        assert solve["parent"] == unit["id"]
+        assert event["parent"] == unit["id"]
+        assert unit["parent"] is None
+        assert unit["attrs"] == {"application": "dillo", "site": "png.c@203"}
+        assert solve["attrs"] == {"session": True}
+        assert all(not validate_record(r) for r in records)
+
+    def test_sibling_spans_share_a_parent(self):
+        def actions(tracer):
+            with tracer.span("unit"):
+                with tracer.span("concolic"):
+                    pass
+                with tracer.span("enforce"):
+                    pass
+
+        records = _traced(actions)
+        unit = next(r for r in records if r["name"] == "unit")
+        children = [r for r in records if r["name"] != "unit"]
+        assert all(r["parent"] == unit["id"] for r in children)
+
+    def test_no_sink_means_no_records_but_stage_timer_still_fires(self):
+        tracer = Tracer()
+        before = METRICS.histogram("stage.only_timer.seconds").count
+        with tracer.span("only_timer"):
+            pass
+        assert METRICS.histogram("stage.only_timer.seconds").count == before + 1
+
+    def test_span_survives_exceptions(self):
+        def actions(tracer):
+            try:
+                with tracer.span("unit"):
+                    raise RuntimeError("unit blew up")
+            except RuntimeError:
+                pass
+
+        records = _traced(actions)
+        assert [r["name"] for r in records] == ["unit"]
+
+    def test_broken_sink_is_detached_not_fatal(self):
+        class Exploding:
+            def emit(self, record):
+                raise OSError("disk full")
+
+        tracer = Tracer()
+        good = InMemorySink()
+        tracer.add_sink(Exploding())
+        tracer.add_sink(good)
+        with tracer.span("unit"):
+            pass
+        assert [r["name"] for r in good.records] == ["unit"]
+        assert len(tracer._sinks) == 1  # the exploding sink was dropped
+
+
+class TestJsonlSink:
+    def test_round_trip_through_trace_dir(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        tracer = Tracer()
+        sink = JsonlSink(trace_dir)
+        tracer.add_sink(sink)
+        with tracer.span("unit", application="dillo", site="s", backend="serial"):
+            with tracer.span("solve"):
+                pass
+        tracer.event("store.lock_break", path="x")
+        tracer.remove_sink(sink)
+        sink.close()
+
+        data = load_trace_dir(trace_dir)
+        assert data.error is None
+        assert data.invalid_records == 0
+        assert data.files == 1
+        assert sorted(r["name"] for r in data.records) == [
+            "solve",
+            "store.lock_break",
+            "unit",
+        ]
+        unit = next(r for r in data.records if r["name"] == "unit")
+        assert unit["attrs"] == {
+            "application": "dillo",
+            "site": "s",
+            "backend": "serial",
+        }
+
+    def test_lazy_open_leaves_no_file_when_nothing_emitted(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        sink = JsonlSink(trace_dir)
+        sink.close()
+        assert not os.path.exists(sink.path())
+
+    def test_meta_is_versioned(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        ensure_trace_dir(trace_dir)
+        with open(os.path.join(trace_dir, "meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta == {"format": "repro-trace", "version": TRACE_SCHEMA_VERSION}
+
+
+class TestValidateRecord:
+    def test_rejects_malformed_records(self):
+        assert validate_record("not a dict")
+        assert validate_record({})
+        assert validate_record(
+            {"v": 999, "kind": "span", "name": "x", "id": 1, "pid": 1, "tid": 1,
+             "wall": 0.0, "dur": 0.0}
+        )
+        # A span missing its duration is invalid; an event is not.
+        base = {"v": TRACE_SCHEMA_VERSION, "name": "x", "id": 1, "parent": None,
+                "pid": 1, "tid": 1, "wall": 0.0, "attrs": {}}
+        assert validate_record({**base, "kind": "span"})
+        assert not validate_record({**base, "kind": "event"})
+        assert validate_record({**base, "kind": "span", "dur": 0.1, "attrs": {"x": [1]}})
+
+
+class TestReader:
+    def test_unknown_meta_version_is_an_error(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
+        (trace_dir / "meta.json").write_text(
+            json.dumps({"format": "repro-trace", "version": 999})
+        )
+        data = load_trace_dir(str(trace_dir))
+        assert data.error is not None
+        assert not data.records
+
+    def test_bad_lines_are_counted_and_skipped(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        ensure_trace_dir(trace_dir)
+        good = {"v": TRACE_SCHEMA_VERSION, "kind": "event", "name": "ok",
+                "id": 1, "parent": None, "pid": 1, "tid": 1, "wall": 0.0,
+                "attrs": {}}
+        with open(os.path.join(trace_dir, "spans-1.jsonl"), "w") as handle:
+            handle.write("this is not json\n")
+            handle.write(json.dumps({"v": 999}) + "\n")
+            handle.write(json.dumps(good) + "\n")
+        data = load_trace_dir(trace_dir)
+        assert data.invalid_records == 2
+        assert [r["name"] for r in data.records] == ["ok"]
+
+
+class TestAggregation:
+    def _sample_trace(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        tracer = Tracer()
+        sink = JsonlSink(trace_dir)
+        tracer.add_sink(sink)
+        for site in ("a", "b"):
+            with tracer.span("unit", application="app", site=site, backend="serial"):
+                with tracer.span("concolic"):
+                    pass
+                with tracer.span("enforce"):
+                    # Grandchild: must not appear in the unit's direct stages.
+                    with tracer.span("solve"):
+                        pass
+        sink.close()
+        return load_trace_dir(trace_dir)
+
+    def test_stage_summaries_counts(self, tmp_path):
+        data = self._sample_trace(tmp_path)
+        by_name = {s.name: s for s in stage_summaries(data)}
+        assert by_name["unit"].count == 2
+        assert by_name["concolic"].count == 2
+        assert by_name["solve"].count == 2
+        assert by_name["unit"].total_seconds >= by_name["concolic"].total_seconds
+
+    def test_unit_summaries_roll_up_direct_children_only(self, tmp_path):
+        data = self._sample_trace(tmp_path)
+        units = unit_summaries(data)
+        assert sorted(u.site for u in units) == ["a", "b"]
+        for unit in units:
+            assert set(unit.stages) == {"concolic", "enforce"}  # not "solve"
+            assert 0.0 <= unit.coverage() <= 1.05
+
+    def test_chrome_export_is_complete_events(self, tmp_path):
+        data = self._sample_trace(tmp_path)
+        events = chrome_trace_events(data)
+        assert len(events) == len(data.records)
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ts"] >= 0 for e in events)
+        json.dumps(events)  # must be serializable as-is
