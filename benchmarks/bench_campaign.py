@@ -51,7 +51,14 @@ ARTIFACT_NAME = "BENCH_campaign.json"
 
 
 def write_artifact(payload: dict, name: str = ARTIFACT_NAME) -> str:
-    """Write a benchmark artifact as JSON; returns the path written."""
+    """Write a benchmark artifact as JSON; returns the path written.
+
+    The ``version`` field is force-stamped from ``repro.__version__`` here —
+    not left to each bench's payload builder — so a checked-in artifact can
+    never carry a stale release string regardless of which script wrote it.
+    """
+    payload = dict(payload)
+    payload["version"] = __version__
     directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, name)

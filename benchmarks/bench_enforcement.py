@@ -25,6 +25,11 @@ core without a solver call):
    strictly fewer CDCL conflicts and solver checks than the unguided arm,
    with identical outcomes — re-deriving the UNSAT tail is exactly the
    work the cores eliminate.
+3. **Hot-path speedup** — the same CDCL-hard chains on the legacy solving
+   stack (:func:`repro.smt.hotpath.legacy_hot_path`) versus the flattened
+   one, byte-identical classifications required and a
+   :data:`MIN_HOTPATH_SPEEDUP` wall-clock floor enforced (the flattening
+   PR's acceptance gate).
 
 Emits a machine-readable ``BENCH_enforcement.json`` artifact; set
 ``BENCH_ARTIFACT_DIR`` to redirect it.  Standalone::
@@ -69,6 +74,15 @@ HARD_PASSES = 3
 
 #: Number of constant-varied CDCL-hard guarded programs in workload 2.
 HARD_VARIANTS = 3
+
+#: Required wall-clock speedup of the flattened solving hot path over the
+#: legacy arm on the CDCL-hard chains (the standalone CI gate; measured
+#: ~5.9x on the reference machine).
+MIN_HOTPATH_SPEEDUP = 5.0
+
+#: Looser floor for the pytest twin, which runs inside the full benchmark
+#: suite where background load can squeeze the measurement.
+SUITE_MIN_HOTPATH_SPEEDUP = 3.0
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +206,12 @@ def _hard_application(variant: int) -> Application:
     the mask guards bound the high bytes so that once every guard is
     enforced the overflow target is infeasible — an UNSAT tail proved by
     the session's assumption-based CDCL, which is what makes its
-    final-conflict core precise.
+    final-conflict core precise.  The square guard exists purely to keep
+    that tail *expensive*: no square is ``5 mod 32``, so flipping the
+    branch is an UNSAT query that costs the CDCL real conflicts even
+    under the structurally-hashed encoder (which refutes the plain
+    checksum tail by root propagation alone) — re-deriving it each pass
+    is exactly the work core subsumption eliminates.
     """
     w0, h0 = 37 + 8 * variant, 91 + 4 * variant
     checksum1 = (w0 + h0) & 255
@@ -203,6 +222,7 @@ proc main() {{
   h = (input(6) << 8) | input(7);
   if (((w + h) & 255) != {checksum1}) {{ halt "checksum1"; }}
   if (((w * 3 + h) & 127) != {checksum2}) {{ halt "checksum2"; }}
+  if (((w * w) & 31) == 5) {{ halt "square"; }}
   if ((w & 65280) != 0) {{ halt "wmask"; }}
   if ((h & 65280) != 0) {{ halt "hmask"; }}
   buf = alloc(w * h * 1024) @ "hard.c@{variant}";
@@ -238,6 +258,47 @@ def run_hard_chains(guided: bool) -> ArmMeasurement:
 
 
 # ----------------------------------------------------------------------
+# Workload 3: flattened solving hot path vs the legacy arm
+# ----------------------------------------------------------------------
+def run_hotpath_speedup() -> Tuple[ArmMeasurement, ArmMeasurement]:
+    """The CDCL-hard chains on the legacy vs the flattened hot path.
+
+    Both arms run the *guided* configuration end-to-end — interpreter,
+    enforcement loop, sessions, CDCL — differing only in the solving hot
+    path (:func:`repro.smt.hotpath.legacy_hot_path` swaps in the
+    object-graph CDCL, the recursive term interpreter and the unhashed
+    Tseitin encoder).  Classifications must be byte-identical across
+    every pass; the wall-clock speedup is the flattening PR's acceptance
+    gate.
+    """
+    from repro.smt.hotpath import legacy_hot_path
+
+    with legacy_hot_path():
+        legacy = run_hard_chains(True)
+        legacy.label = "legacy"
+    flat = run_hard_chains(True)
+    flat.label = "flat"
+    return legacy, flat
+
+
+def print_hotpath(legacy: ArmMeasurement, flat: ArmMeasurement) -> None:
+    print("\n=== CDCL-hard chains: legacy hot path vs flattened core ===")
+    for arm in (legacy, flat):
+        print(
+            f"{arm.label:9s}: {arm.wall_seconds:6.3f}s wall, "
+            f"{arm.checks} enforcement checks, "
+            f"{arm.conflicts} CDCL conflicts, "
+            f"{int(arm.telemetry['propagations'])} propagations"
+        )
+    print(
+        "classifications equal: "
+        f"{legacy.classifications == flat.classifications}"
+    )
+    if flat.wall_seconds > 0:
+        print(f"wall speedup         : {legacy.wall_seconds / flat.wall_seconds:.2f}x")
+
+
+# ----------------------------------------------------------------------
 # Reporting and gates
 # ----------------------------------------------------------------------
 def print_arms(title: str, unguided: ArmMeasurement, guided: ArmMeasurement) -> None:
@@ -262,6 +323,8 @@ def artifact_payload(
     registry_guided: ArmMeasurement,
     hard_unguided: ArmMeasurement,
     hard_guided: ArmMeasurement,
+    hotpath_legacy: ArmMeasurement,
+    hotpath_flat: ArmMeasurement,
 ) -> dict:
     def arm(measurement: ArmMeasurement) -> dict:
         return {
@@ -271,6 +334,10 @@ def artifact_payload(
             "core_pruned_candidates": measurement.pruned,
             "cores_extracted": int(measurement.telemetry["cores_extracted"]),
             "sessions_reused": int(measurement.telemetry["sessions_reused"]),
+            "propagations": int(measurement.telemetry.get("propagations", 0)),
+            "sat_decisions": int(
+                measurement.telemetry.get("sat_decisions", 0)
+            ),
         }
 
     return {
@@ -294,6 +361,19 @@ def artifact_payload(
                 hard_unguided.classifications == hard_guided.classifications
             ),
         },
+        "hotpath": {
+            "min_speedup": MIN_HOTPATH_SPEEDUP,
+            "legacy": arm(hotpath_legacy),
+            "flat": arm(hotpath_flat),
+            "classification_parity": (
+                hotpath_legacy.classifications == hotpath_flat.classifications
+            ),
+            "wall_speedup": round(
+                hotpath_legacy.wall_seconds / hotpath_flat.wall_seconds, 2
+            )
+            if hotpath_flat.wall_seconds > 0
+            else None,
+        },
     }
 
 
@@ -302,6 +382,8 @@ def _gate_failures(
     registry_guided: ArmMeasurement,
     hard_unguided: ArmMeasurement,
     hard_guided: ArmMeasurement,
+    hotpath_legacy: ArmMeasurement,
+    hotpath_flat: ArmMeasurement,
 ) -> List[str]:
     failures = []
     if registry_unguided.classifications != registry_guided.classifications:
@@ -328,6 +410,20 @@ def _gate_failures(
         failures.append(
             f"guided enforcement checks {hard_guided.checks} not below "
             f"unguided {hard_unguided.checks} on the hard chains"
+        )
+    if hotpath_legacy.classifications != hotpath_flat.classifications:
+        failures.append(
+            "hot-path classifications diverge between legacy and flat arms"
+        )
+    speedup = (
+        hotpath_legacy.wall_seconds / hotpath_flat.wall_seconds
+        if hotpath_flat.wall_seconds > 0
+        else float("inf")
+    )
+    if speedup < MIN_HOTPATH_SPEEDUP:
+        failures.append(
+            f"flattened hot path speedup {speedup:.2f}x below the "
+            f"{MIN_HOTPATH_SPEEDUP:.1f}x floor on the CDCL-hard chains"
         )
     return failures
 
@@ -363,6 +459,19 @@ def test_hard_chains_guided_saves_cdcl_conflicts(benchmark):
     assert guided.checks < unguided.checks
 
 
+@pytest.mark.benchmark(group="enforcement")
+def test_flattened_hot_path_speedup_on_hard_chains(benchmark):
+    """Identical classifications; the flattening PR's wall-clock gate.
+
+    The suite twin uses the looser floor (the standalone entry point
+    enforces :data:`MIN_HOTPATH_SPEEDUP`).
+    """
+    legacy, flat = benchmark.pedantic(run_hotpath_speedup, rounds=1, iterations=1)
+    print_hotpath(legacy, flat)
+    assert legacy.classifications == flat.classifications
+    assert legacy.wall_seconds / flat.wall_seconds >= SUITE_MIN_HOTPATH_SPEEDUP
+
+
 # ----------------------------------------------------------------------
 # Standalone entry point (the CI gate)
 # ----------------------------------------------------------------------
@@ -375,16 +484,29 @@ def main() -> int:
     hard_guided = run_hard_chains(True)
     print_arms("CDCL-hard guarded chains", hard_unguided, hard_guided)
 
+    hotpath_legacy, hotpath_flat = run_hotpath_speedup()
+    print_hotpath(hotpath_legacy, hotpath_flat)
+
     path = write_artifact(
         artifact_payload(
-            registry_unguided, registry_guided, hard_unguided, hard_guided
+            registry_unguided,
+            registry_guided,
+            hard_unguided,
+            hard_guided,
+            hotpath_legacy,
+            hotpath_flat,
         ),
         name="BENCH_enforcement.json",
     )
     print(f"\nartifact written: {path}")
 
     failures = _gate_failures(
-        registry_unguided, registry_guided, hard_unguided, hard_guided
+        registry_unguided,
+        registry_guided,
+        hard_unguided,
+        hard_guided,
+        hotpath_legacy,
+        hotpath_flat,
     )
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -23,6 +23,14 @@ cache):
    incremental arm must answer some components from the component cache
    (``component hits > 0``) while returning identical statuses.
 
+Two later workloads ride the same harness: **warm skeletons** (persisted
+blasted-CNF replay vs fresh Tseitin translation) and the **propagation
+loop** before/after comparison — the CDCL-bound chain queries solved on
+the legacy hot path (:func:`repro.smt.hotpath.legacy_hot_path`: object
+CDCL, recursive evaluation, unhashed gates) versus the flattened one,
+with per-arm ``propagations``/``sat_decisions`` telemetry in the
+artifact.
+
 Emits a machine-readable ``BENCH_solver.json`` artifact; set
 ``BENCH_ARTIFACT_DIR`` to redirect it.  Standalone::
 
@@ -324,6 +332,74 @@ def run_skeleton_arms() -> Tuple[ArmMeasurement, ArmMeasurement]:
 
 
 # ----------------------------------------------------------------------
+# Workload 5: flattened propagation loop vs the legacy hot path
+# ----------------------------------------------------------------------
+def run_hotpath_arms() -> Tuple[ArmMeasurement, ArmMeasurement]:
+    """Before/after arms of the solving hot-path flattening.
+
+    The *legacy* arm re-solves the CDCL-bound chain queries on the
+    pre-flattening stack (object-graph CDCL, recursive term interpreter,
+    fresh-variable Tseitin gates) via
+    :func:`repro.smt.hotpath.legacy_hot_path`; the *flat* arm runs the
+    current one.  Telemetry makes the propagation-loop work visible on
+    both sides (``propagations``/``sat_decisions`` per arm), and the gate
+    demands identical statuses with the flat arm strictly faster on
+    bit-blast/CDCL time.
+    """
+    from repro.smt.hotpath import legacy_hot_path
+
+    config = _solver_config(
+        False,
+        sampler=SamplerConfig(
+            random_attempts_per_sample=3,
+            hill_climb_steps=2,
+            perturbation_attempts=2,
+            seed=0,
+        ),
+        heuristic_max_checks=4,
+        bitblast_max_conflicts=100_000,
+    )
+    systems = []
+    for variant in range(CHAIN_COUNT):
+        beta, deltas = _enforcement_chain(variant)
+        systems.append([beta] + deltas)
+        # CDCL-searching companions: exact squares force real decisions
+        # (the sampler would have to guess the root), mod-32 non-residues
+        # force real conflicts (squares mod 32 are {0,1,4,9,16,17,25}).
+        root = 1234 + 17 * variant
+        x = b.bv_var(f"hp{variant}", 16)
+        systems.append([b.eq(b.mul(x, x), b.bv_const((root * root) & 0xFFFF, 16))])
+        y = b.bv_var(f"hq{variant}", 16)
+        systems.append(
+            [
+                b.eq(
+                    b.bvand(b.mul(y, y), b.bv_const(31, 16)),
+                    b.bv_const(5, 16),
+                )
+            ]
+        )
+
+    def arm(label: str) -> ArmMeasurement:
+        cache = SolverCache()
+        solver = PortfolioSolver(config, cache=cache)
+        TELEMETRY.reset()
+        started = time.perf_counter()
+        statuses = [solver.check(system).status for system in systems]
+        return ArmMeasurement(
+            label=label,
+            wall_seconds=time.perf_counter() - started,
+            statuses=statuses,
+            telemetry=TELEMETRY.snapshot(),
+            cache_stats=cache.stats.as_dict(),
+        )
+
+    with legacy_hot_path():
+        legacy = arm("legacy")
+    flat = arm("flat")
+    return legacy, flat
+
+
+# ----------------------------------------------------------------------
 # Reporting and gates
 # ----------------------------------------------------------------------
 def print_chains(fresh: ArmMeasurement, incremental: ArmMeasurement) -> None:
@@ -361,6 +437,21 @@ def print_skeletons(cold: ArmMeasurement, warm: ArmMeasurement) -> None:
     print(f"statuses equal     : {cold.statuses == warm.statuses}")
 
 
+def print_hotpath(legacy: ArmMeasurement, flat: ArmMeasurement) -> None:
+    print("\n=== Propagation loop: legacy hot path vs flattened core ===")
+    for arm in (legacy, flat):
+        print(
+            f"{arm.label:12s}: {arm.wall_seconds:6.3f}s wall, "
+            f"{arm.bitblast_seconds:6.3f}s bitblast/CDCL, "
+            f"{int(arm.telemetry['propagations'])} propagations, "
+            f"{int(arm.telemetry['sat_decisions'])} decisions, "
+            f"{arm.conflicts} conflicts"
+        )
+    print(f"statuses equal     : {legacy.statuses == flat.statuses}")
+    if flat.wall_seconds > 0:
+        print(f"wall speedup       : {legacy.wall_seconds / flat.wall_seconds:.2f}x")
+
+
 def artifact_payload(
     parity: bool,
     registry_fresh: dict,
@@ -371,6 +462,8 @@ def artifact_payload(
     screen_incremental: ArmMeasurement,
     skeleton_cold: ArmMeasurement,
     skeleton_warm: ArmMeasurement,
+    hotpath_legacy: ArmMeasurement,
+    hotpath_flat: ArmMeasurement,
 ) -> dict:
     def arm(measurement: ArmMeasurement) -> dict:
         return {
@@ -380,6 +473,10 @@ def artifact_payload(
             "bitblast_calls": int(measurement.telemetry["bitblast_calls"]),
             "component_hits": int(
                 measurement.cache_stats.get("component_hits", 0)
+            ),
+            "propagations": int(measurement.telemetry.get("propagations", 0)),
+            "sat_decisions": int(
+                measurement.telemetry.get("sat_decisions", 0)
             ),
         }
 
@@ -408,6 +505,16 @@ def artifact_payload(
             "skeleton_stores": int(skeleton_cold.telemetry["skeleton_stores"]),
             "statuses_equal": skeleton_cold.statuses == skeleton_warm.statuses,
         },
+        "propagation_loop": {
+            "legacy": arm(hotpath_legacy),
+            "flat": arm(hotpath_flat),
+            "statuses_equal": hotpath_legacy.statuses == hotpath_flat.statuses,
+            "wall_speedup": round(
+                hotpath_legacy.wall_seconds / hotpath_flat.wall_seconds, 2
+            )
+            if hotpath_flat.wall_seconds > 0
+            else None,
+        },
     }
 
 
@@ -419,6 +526,8 @@ def _gate_failures(
     screen_incremental: ArmMeasurement,
     skeleton_cold: ArmMeasurement,
     skeleton_warm: ArmMeasurement,
+    hotpath_legacy: ArmMeasurement,
+    hotpath_flat: ArmMeasurement,
 ) -> List[str]:
     failures = []
     if not parity:
@@ -450,6 +559,17 @@ def _gate_failures(
             f"warm bitblast/CDCL time {skeleton_warm.bitblast_seconds:.3f}s "
             f"not below cold {skeleton_cold.bitblast_seconds:.3f}s"
         )
+    if hotpath_legacy.statuses != hotpath_flat.statuses:
+        failures.append(
+            "propagation-loop statuses diverge between legacy and flat arms"
+        )
+    if hotpath_flat.bitblast_seconds >= hotpath_legacy.bitblast_seconds:
+        failures.append(
+            f"flat bitblast/CDCL time {hotpath_flat.bitblast_seconds:.3f}s "
+            f"not below legacy {hotpath_legacy.bitblast_seconds:.3f}s"
+        )
+    if int(hotpath_flat.telemetry["propagations"]) <= 0:
+        failures.append("flat arm recorded no propagation-loop telemetry")
     return failures
 
 
@@ -493,6 +613,17 @@ def test_screening_hits_the_component_cache(benchmark):
 
 
 @pytest.mark.benchmark(group="solver")
+def test_flattened_hot_path_beats_the_legacy_arm(benchmark):
+    """The flattened core answers the chain queries identically, faster."""
+    legacy, flat = benchmark.pedantic(run_hotpath_arms, rounds=1, iterations=1)
+    print_hotpath(legacy, flat)
+    assert legacy.statuses == flat.statuses
+    assert flat.bitblast_seconds < legacy.bitblast_seconds
+    assert flat.telemetry["propagations"] > 0
+    assert flat.telemetry["sat_decisions"] > 0
+
+
+@pytest.mark.benchmark(group="solver")
 def test_warm_skeletons_skip_the_tseitin_translation(benchmark):
     """Persisted CNF skeletons replay to identical statuses, faster."""
     cold, warm = benchmark.pedantic(run_skeleton_arms, rounds=1, iterations=1)
@@ -525,6 +656,9 @@ def main() -> int:
     skeleton_cold, skeleton_warm = run_skeleton_arms()
     print_skeletons(skeleton_cold, skeleton_warm)
 
+    hotpath_legacy, hotpath_flat = run_hotpath_arms()
+    print_hotpath(hotpath_legacy, hotpath_flat)
+
     path = write_artifact(
         artifact_payload(
             parity,
@@ -536,6 +670,8 @@ def main() -> int:
             screen_incremental,
             skeleton_cold,
             skeleton_warm,
+            hotpath_legacy,
+            hotpath_flat,
         ),
         name="BENCH_solver.json",
     )
@@ -549,6 +685,8 @@ def main() -> int:
         screen_incremental,
         skeleton_cold,
         skeleton_warm,
+        hotpath_legacy,
+        hotpath_flat,
     )
     for failure in failures:
         print(f"FAIL: {failure}")

@@ -220,6 +220,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         config.diode.solver.enable_unsat_cores = False
     if args.no_cnf_skeletons:
         config.diode.solver.enable_cnf_skeletons = False
+    if args.external_sat:
+        config.diode.solver.enable_external_sat = True
+        config.diode.solver.external_sat_shadow = args.external_sat_shadow
     result = CampaignEngine(config).run()
 
     if args.json:
@@ -230,6 +233,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "incremental": not args.no_incremental,
             "core_guidance": not args.no_core_guidance,
             "cnf_skeletons": not args.no_cnf_skeletons,
+            "external_sat": bool(args.external_sat),
             "cache_enabled": result.cache_enabled,
             "unit_count": result.unit_count,
             "wall_seconds": round(result.wall_seconds, 3),
@@ -469,12 +473,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(line)
 
     if stages:
-        print(f"\n{'Stage':24s} {'Count':>7s} {'Total':>9s} {'Mean':>9s} {'Max':>9s}")
+        print(
+            f"\n{'Stage':24s} {'Count':>7s} {'Total':>9s} {'Mean':>9s} "
+            f"{'Max':>9s} {'Props':>9s}"
+        )
         for stage in stages:
             print(
                 f"{stage.name:24s} {stage.count:>7d} "
                 f"{stage.total_seconds:>8.3f}s {stage.mean_seconds():>8.4f}s "
-                f"{stage.max_seconds:>8.4f}s"
+                f"{stage.max_seconds:>8.4f}s {stage.propagations:>9d}"
             )
 
     stragglers = units[: args.top]
@@ -582,6 +589,26 @@ def build_parser() -> argparse.ArgumentParser:
             "bitblast path; a stored skeleton rebuilds the exact CNF a "
             "fresh Tseitin translation would produce, so classifications "
             "are identical either way)"
+        ),
+    )
+    campaign.add_argument(
+        "--external-sat",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "route one-shot complete solves to a native PySAT solver when "
+            "the optional python-sat package is importable (--no-external-sat "
+            "is the explicit ablation arm and the default; the knob is "
+            "fingerprinted, so stores never mix external and pure verdicts)"
+        ),
+    )
+    campaign.add_argument(
+        "--external-sat-shadow",
+        action="store_true",
+        help=(
+            "with --external-sat: re-solve every external query on the pure "
+            "CDCL core and fail loudly on a SAT/UNSAT disagreement (the "
+            "parity harness CI runs; roughly doubles complete-solve cost)"
         ),
     )
     campaign.add_argument(

@@ -63,6 +63,10 @@ class StageSummary:
     count: int = 0
     total_seconds: float = 0.0
     max_seconds: float = 0.0
+    #: Summed ``propagations`` span attribute — SAT-core work attributed
+    #: to this stage, so a report can rank stages by solver effort, not
+    #: just wall time (solve spans carry it; other stages stay at 0).
+    propagations: int = 0
 
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
@@ -74,6 +78,7 @@ class StageSummary:
             "total_seconds": round(self.total_seconds, 6),
             "mean_seconds": round(self.mean_seconds(), 6),
             "max_seconds": round(self.max_seconds, 6),
+            "propagations": self.propagations,
         }
 
 
@@ -188,6 +193,9 @@ def stage_summaries(data: TraceData) -> List[StageSummary]:
         summary.count += 1
         summary.total_seconds += duration
         summary.max_seconds = max(summary.max_seconds, duration)
+        propagations = span.get("attrs", {}).get("propagations")
+        if isinstance(propagations, int):
+            summary.propagations += propagations
     return sorted(
         by_name.values(), key=lambda s: (-s.total_seconds, s.name)
     )

@@ -10,6 +10,18 @@ This is the complete backend of the portfolio solver; the cheaper layers
 (simplification, interval propagation, guided sampling) exist so that it is
 only rarely needed — exactly the role Z3 plays in the paper, where DIODE
 keeps constraints small via staged, relevant-bytes-only symbolic recording.
+
+The blaster **structurally hashes** its gates: AND/XOR/MUX outputs are
+memoized on canonically-ordered operand literal pairs (with constant
+folding and negation-aware normalisation — OR is encoded as a negated AND
+via De Morgan so both kinds share one cache, XOR strips operand signs and
+re-applies them to the output, MUX folds a negated condition into a branch
+swap).  Shared subterms across a component's conjuncts therefore encode
+once: fewer variables and clauses reach the SAT core, while
+:meth:`BitBlaster.extract_model` reads back the same models.  The
+``STRUCTURAL_HASHING`` module flag exists only so the legacy benchmark arm
+(:func:`repro.smt.hotpath.legacy_hot_path`) can measure the pre-hashing
+encoder; it is on everywhere else.
 """
 
 from __future__ import annotations
@@ -21,6 +33,11 @@ from repro.smt.cnf import CNF
 from repro.smt.sat import CDCLSolver, SatResult, SatStatus
 from repro.smt.evalmodel import Model
 from repro.smt.terms import Term, TermKind, to_signed
+
+
+#: Gate-level structural hashing switch (see module docstring).  Mutated
+#: only by the legacy benchmark arm; never change it mid-blaster.
+STRUCTURAL_HASHING = True
 
 
 class BitBlastError(ValueError):
@@ -91,6 +108,12 @@ class BitBlaster:
         self._bv_cache: Dict[int, List[int]] = {}
         self._bool_cache: Dict[int, int] = {}
         self._var_bits: Dict[str, List[int]] = {}
+        # Structural-hashing gate caches: canonical operand key -> output
+        # literal.  Sound for the lifetime of the blaster because the CNF
+        # only ever grows (Tseitin definitions are never retracted).
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._mux_cache: Dict[Tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -98,6 +121,21 @@ class BitBlaster:
     def assert_constraint(self, constraint: Term) -> None:
         """Assert a boolean term as true."""
         self.cnf.add_unit(self.literal_for(constraint))
+
+    def assert_all(self, conjuncts) -> None:
+        """Batch-assert a component's conjunct list in one pass.
+
+        All conjuncts are translated before any unit is asserted, so shared
+        subterms across the component encode once through the structural
+        gate caches and the resulting CNF is identical regardless of how
+        callers chunk the conjunct list.
+        """
+        for literal in self.literals_for(conjuncts):
+            self.cnf.add_unit(literal)
+
+    def literals_for(self, conjuncts) -> List[int]:
+        """Translate a conjunct list (without asserting) in one pass."""
+        return [self.literal_for(conjunct) for conjunct in conjuncts]
 
     def literal_for(self, constraint: Term) -> int:
         """Translate a boolean term *without* asserting it.
@@ -340,20 +378,39 @@ class BitBlaster:
             return b
         if b == self._true:
             return a
-        output = self.cnf.new_var()
-        self.cnf.encode_and(output, (a, b))
+        if a == b:
+            return a
+        if a == -b:
+            return self._false
+        if not STRUCTURAL_HASHING:
+            output = self.cnf.new_var()
+            self.cnf.encode_and(output, (a, b))
+            return output
+        if b < a:
+            a, b = b, a
+        key = (a, b)
+        output = self._and_cache.get(key)
+        if output is None:
+            output = self.cnf.new_var()
+            self.cnf.encode_and(output, (a, b))
+            self._and_cache[key] = output
         return output
 
     def _or_gate(self, a: int, b: int) -> int:
-        if a == self._true or b == self._true:
-            return self._true
-        if a == self._false:
-            return b
-        if b == self._false:
-            return a
-        output = self.cnf.new_var()
-        self.cnf.encode_or(output, (a, b))
-        return output
+        if not STRUCTURAL_HASHING:
+            if a == self._true or b == self._true:
+                return self._true
+            if a == self._false:
+                return b
+            if b == self._false:
+                return a
+            output = self.cnf.new_var()
+            self.cnf.encode_or(output, (a, b))
+            return output
+        # De Morgan: OR(a, b) = -AND(-a, -b).  Routing through the AND cache
+        # lets AND and OR gates over the same operands share one definition
+        # (and inherits every constant fold of :meth:`_and_gate`).
+        return -self._and_gate(-a, -b)
 
     def _xor_gate(self, a: int, b: int) -> int:
         if a == self._false:
@@ -364,9 +421,32 @@ class BitBlaster:
             return -b
         if b == self._true:
             return -a
-        output = self.cnf.new_var()
-        self.cnf.encode_xor(output, a, b)
-        return output
+        if a == b:
+            return self._false
+        if a == -b:
+            return self._true
+        if not STRUCTURAL_HASHING:
+            output = self.cnf.new_var()
+            self.cnf.encode_xor(output, a, b)
+            return output
+        # XOR(-a, b) = -XOR(a, b): strip operand signs into an output sign
+        # so all four polarity combinations share one definition.
+        negate = False
+        if a < 0:
+            a = -a
+            negate = not negate
+        if b < 0:
+            b = -b
+            negate = not negate
+        if b < a:
+            a, b = b, a
+        key = (a, b)
+        output = self._xor_cache.get(key)
+        if output is None:
+            output = self.cnf.new_var()
+            self.cnf.encode_xor(output, a, b)
+            self._xor_cache[key] = output
+        return -output if negate else output
 
     def _mux(self, cond: int, then: int, otherwise: int) -> int:
         if cond == self._true:
@@ -375,8 +455,30 @@ class BitBlaster:
             return otherwise
         if then == otherwise:
             return then
-        output = self.cnf.new_var()
-        self.cnf.encode_ite(output, cond, then, otherwise)
+        if not STRUCTURAL_HASHING:
+            output = self.cnf.new_var()
+            self.cnf.encode_ite(output, cond, then, otherwise)
+            return output
+        if then == -otherwise:
+            # mux(c, t, -t) = XNOR(c, t)
+            return -self._xor_gate(cond, then)
+        if then == self._true:
+            return self._or_gate(cond, otherwise)
+        if then == self._false:
+            return self._and_gate(-cond, otherwise)
+        if otherwise == self._true:
+            return self._or_gate(-cond, then)
+        if otherwise == self._false:
+            return self._and_gate(cond, then)
+        if cond < 0:
+            # mux(-c, t, e) = mux(c, e, t)
+            cond, then, otherwise = -cond, otherwise, then
+        key = (cond, then, otherwise)
+        output = self._mux_cache.get(key)
+        if output is None:
+            output = self.cnf.new_var()
+            self.cnf.encode_ite(output, cond, then, otherwise)
+            self._mux_cache[key] = output
         return output
 
     def _full_adder(self, a: int, b: int, carry_in: int) -> Tuple[int, int]:
@@ -481,8 +583,7 @@ def solve_terms(
     :class:`repro.smt.sat.SatStatus` strings.
     """
     blaster = BitBlaster()
-    for constraint in constraints:
-        blaster.assert_constraint(constraint)
+    blaster.assert_all(constraints)
     result = CDCLSolver(blaster.cnf, max_conflicts=max_conflicts).solve()
     if result.status == SatStatus.SAT:
         return SatStatus.SAT, blaster.extract_model(result)

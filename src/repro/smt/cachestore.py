@@ -47,7 +47,9 @@ from repro.store import ArtifactStore, StoreRecord, content_key
 #: the portfolio-stage provenance of the verdict.
 #: v3: unified content-addressed ``repro.store`` envelope; canonical
 #: UNSAT cores and blasted-CNF skeletons ride along.
-FORMAT_VERSION = 3
+#: v4: the structurally-hashed bit-blaster changed CNF variable numbering,
+#: so persisted skeletons from older encoders must cold-start.
+FORMAT_VERSION = 4
 
 #: Default number of shard files a store spreads its entries over.
 DEFAULT_SHARD_COUNT = 16

@@ -1,0 +1,214 @@
+"""Compile term DAGs to straight-line Python evaluators.
+
+Profiling the CDCL-hard enforcement chains shows the recursive interpreter
+in :mod:`repro.smt.evalmodel` — not the SAT core — dominating wall clock:
+the sampler's hill climber evaluates the same conjuncts millions of times,
+paying dict-cache lookups, ``isinstance`` dispatch and Python call overhead
+per DAG node on every evaluation.
+
+This module removes that per-evaluation overhead by compiling a term once
+into a generated Python function: a topological walk emits one assignment
+statement per *distinct* subterm (so DAG sharing is preserved exactly like
+the interpreter's memo cache), with all masks and width constants folded
+into integer literals.  Evaluating a term then costs one function call and
+a handful of arithmetic bytecodes.
+
+The generated code mirrors :func:`repro.smt.evalmodel._eval_uncached`
+expression for expression — same wrap-around semantics, same division and
+shift edge cases, same error message for unassigned variables.  A
+hypothesis differential test pins the two implementations to each other;
+classification parity across the campaign depends on them never diverging.
+
+Compiled functions are cached by the term's intern id (ids are allocated
+monotonically and never reused, so entries can never alias a different
+term).  Terms whose kind the compiler does not know yield ``None`` and the
+caller falls back to the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.smt.terms import Term, TermKind, mask
+
+#: Compiled evaluators (or ``None`` for uncompilable terms) by term id.
+_COMPILED: Dict[int, Optional[Callable[[Mapping[str, int]], int]]] = {}
+
+
+def compiled_evaluator(
+    term: Term,
+) -> Optional[Callable[[Mapping[str, int]], int]]:
+    """Return a compiled evaluator for ``term`` (``None`` if uncompilable)."""
+    term_id = term._id
+    try:
+        return _COMPILED[term_id]
+    except KeyError:
+        pass
+    try:
+        fn = _compile(term)
+    except _CompileError:
+        fn = None
+    _COMPILED[term_id] = fn
+    return fn
+
+
+def clear_compiled_cache() -> None:
+    """Drop all compiled evaluators (used by tests to bound memory)."""
+    _COMPILED.clear()
+
+
+class _CompileError(Exception):
+    """Internal: the term uses a kind the compiler does not handle."""
+
+
+def _signed(expr: str, width: int) -> str:
+    """Emit the two's-complement reinterpretation of an unsigned value."""
+    half = 1 << (width - 1)
+    top = 1 << width
+    return f"(({expr} - {top}) if {expr} >= {half} else {expr})"
+
+
+def _compile(term: Term) -> Callable[[Mapping[str, int]], int]:
+    # Iterative topological order over the DAG, children before parents.
+    order: List[Term] = []
+    state: Dict[int, int] = {}  # id -> 0 visiting, 1 done
+    stack: List[Term] = [term]
+    while stack:
+        node = stack[-1]
+        node_state = state.get(node._id)
+        if node_state is None:
+            state[node._id] = 0
+            for arg in reversed(node.args):
+                if state.get(arg._id) != 1:
+                    stack.append(arg)
+        else:
+            stack.pop()
+            if node_state == 0:
+                state[node._id] = 1
+                order.append(node)
+
+    names: Dict[int, str] = {}
+    lines: List[str] = ["def _compiled(_m):"]
+
+    def ref(node: Term) -> str:
+        return names[node._id]
+
+    for index, node in enumerate(order):
+        out = f"_t{index}"
+        kind = node.kind
+        width = node.width
+        args = node.args
+
+        if kind is TermKind.BV_CONST or kind is TermKind.BOOL_CONST:
+            names[node._id] = repr(int(node.value))
+            continue
+        if kind is TermKind.BV_VAR:
+            key = repr(node.name)
+            message = repr(f"unassigned bitvector variable {node.name!r}")
+            lines.append(f"    if {key} not in _m:")
+            lines.append(f"        raise _EvaluationError({message})")
+            lines.append(f"    {out} = int(_m[{key}]) & {mask(width)}")
+            names[node._id] = out
+            continue
+        if kind is TermKind.BOOL_VAR:
+            key = repr(node.name)
+            message = repr(f"unassigned boolean variable {node.name!r}")
+            lines.append(f"    if {key} not in _m:")
+            lines.append(f"        raise _EvaluationError({message})")
+            lines.append(f"    {out} = 1 if _m[{key}] else 0")
+            names[node._id] = out
+            continue
+
+        a = ref(args[0]) if args else ""
+        b = ref(args[1]) if len(args) > 1 else ""
+        c = ref(args[2]) if len(args) > 2 else ""
+
+        # Bitvector arithmetic.
+        if kind is TermKind.ADD:
+            expr = f"({a} + {b}) & {mask(width)}"
+        elif kind is TermKind.SUB:
+            expr = f"({a} - {b}) & {mask(width)}"
+        elif kind is TermKind.MUL:
+            expr = f"({a} * {b}) & {mask(width)}"
+        elif kind is TermKind.UDIV:
+            expr = f"{mask(width)} if {b} == 0 else ({a} // {b}) & {mask(width)}"
+        elif kind is TermKind.UREM:
+            expr = f"{a} if {b} == 0 else ({a} % {b}) & {mask(width)}"
+        elif kind is TermKind.NEG:
+            expr = f"(-{a}) & {mask(width)}"
+        # Bitwise.
+        elif kind is TermKind.AND:
+            expr = f"{a} & {b}"
+        elif kind is TermKind.OR:
+            expr = f"{a} | {b}"
+        elif kind is TermKind.XOR:
+            expr = f"{a} ^ {b}"
+        elif kind is TermKind.NOT:
+            expr = f"(~{a}) & {mask(width)}"
+        elif kind is TermKind.SHL:
+            expr = f"0 if {b} >= {width} else ({a} << {b}) & {mask(width)}"
+        elif kind is TermKind.LSHR:
+            expr = f"0 if {b} >= {width} else {a} >> {b}"
+        elif kind is TermKind.ASHR:
+            shift = f"({b} if {b} < {width} else {width - 1})"
+            expr = f"({_signed(a, args[0].width)} >> {shift}) & {mask(width)}"
+        # Structural.
+        elif kind is TermKind.ZEXT:
+            names[node._id] = a  # zero-extension of an unsigned value is a no-op
+            continue
+        elif kind is TermKind.SEXT:
+            expr = f"{_signed(a, args[0].width)} & {mask(width)}"
+        elif kind is TermKind.EXTRACT:
+            high, low = node.params
+            expr = f"({a} >> {low}) & {mask(high - low + 1)}"
+        elif kind is TermKind.CONCAT:
+            expr = f"({a} << {args[1].width}) | {b}"
+        elif kind is TermKind.ITE or kind is TermKind.BITE:
+            expr = f"{b} if {a} else {c}"
+        # Comparisons.
+        elif kind is TermKind.EQ:
+            expr = f"1 if {a} == {b} else 0"
+        elif kind is TermKind.NE:
+            expr = f"1 if {a} != {b} else 0"
+        elif kind is TermKind.ULT:
+            expr = f"1 if {a} < {b} else 0"
+        elif kind is TermKind.ULE:
+            expr = f"1 if {a} <= {b} else 0"
+        elif kind is TermKind.UGT:
+            expr = f"1 if {a} > {b} else 0"
+        elif kind is TermKind.UGE:
+            expr = f"1 if {a} >= {b} else 0"
+        elif kind in (TermKind.SLT, TermKind.SLE, TermKind.SGT, TermKind.SGE):
+            opw = args[0].width
+            op = {
+                TermKind.SLT: "<",
+                TermKind.SLE: "<=",
+                TermKind.SGT: ">",
+                TermKind.SGE: ">=",
+            }[kind]
+            expr = f"1 if {_signed(a, opw)} {op} {_signed(b, opw)} else 0"
+        # Boolean connectives.
+        elif kind is TermKind.BAND:
+            expr = f"{a} & {b}"
+        elif kind is TermKind.BOR:
+            expr = f"{a} | {b}"
+        elif kind is TermKind.BNOT:
+            expr = f"1 - {a}"
+        elif kind is TermKind.BXOR:
+            expr = f"{a} ^ {b}"
+        elif kind is TermKind.IMPLIES:
+            expr = f"1 if (not {a}) or {b} else 0"
+        else:
+            raise _CompileError(f"cannot compile term kind {kind}")
+
+        lines.append(f"    {out} = {expr}")
+        names[node._id] = out
+
+    lines.append(f"    return {ref(term)}")
+    source = "\n".join(lines)
+
+    from repro.smt.evalmodel import EvaluationError
+
+    namespace: Dict[str, object] = {"_EvaluationError": EvaluationError}
+    exec(compile(source, "<term-eval>", "exec"), namespace)
+    return namespace["_compiled"]  # type: ignore[return-value]

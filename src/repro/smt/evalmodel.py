@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Union
 
+from repro.smt import evalcompile
 from repro.smt.terms import Term, TermKind, mask, to_signed, truncate
 
 
@@ -91,12 +92,27 @@ class Model:
         return Model({k: v for k, v in self._assignment.items() if k in keep})
 
 
+#: When true (the default), :func:`evaluate` dispatches through the
+#: straight-line compiled evaluators of :mod:`repro.smt.evalcompile`.
+#: :func:`repro.smt.hotpath.legacy_hot_path` flips this off so benchmarks
+#: can measure the recursive interpreter as the "before" arm; the
+#: differential tests pin both paths to identical results.
+USE_COMPILED = True
+
+
 def evaluate(term: Term, model: Union[Model, Mapping[str, int]]) -> int:
     """Evaluate ``term`` under ``model``.
 
     Bitvector terms evaluate to unsigned Python integers in ``[0, 2^w)``;
     boolean terms evaluate to ``0`` or ``1``.
     """
+    if USE_COMPILED:
+        fn = evalcompile.compiled_evaluator(term)
+        if fn is not None:
+            # Compiled code only reads the mapping, so the model's own dict
+            # can be passed without the defensive copy the interpreter makes.
+            lookup = model._assignment if isinstance(model, Model) else model
+            return fn(lookup)
     if isinstance(model, Model):
         lookup = model.as_dict()
     else:

@@ -1,0 +1,129 @@
+"""Optional external SAT backend over ``python-sat`` (PySAT).
+
+The portfolio's complete backend is the pure-Python :class:`CDCLSolver`.
+When the ``python-sat`` package is importable *and* the fingerprinted
+``SolverConfig.enable_external_sat`` knob is on, one-shot complete solves
+can instead run on a native PySAT solver fed the same CNF — typically
+orders of magnitude faster on hard instances.
+
+Design rules (see ``docs/solver.md``):
+
+* the dependency is **optional**: nothing in this module imports PySAT at
+  module load time, :func:`pysat_available` gates every use, and the
+  default configuration never routes here — CI's default matrix runs
+  without the package installed;
+* the external backend is a drop-in :class:`CDCLSolver` substitute: it
+  consumes the same :class:`~repro.smt.cnf.CNF` (via DIMACS-convention
+  integer clauses), honours ``max_conflicts`` as a conflict budget
+  (exhaustion reports UNKNOWN exactly like the pure core), and returns
+  :class:`~repro.smt.sat.SatResult` with models keyed by CNF variable and
+  assumption cores as sorted signed literals — so
+  ``BitBlaster.extract_model`` and the assumption-literal core maps work
+  unchanged;
+* verdicts can be **shadow-checked**: ``SolverConfig.external_sat_shadow``
+  re-solves every external query on the pure core and raises on a
+  SAT/UNSAT disagreement (UNKNOWN on either side is compatible — budget
+  artifacts are not comparable), which is how CI asserts status parity
+  without trusting the external solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.smt.cnf import CNF
+from repro.smt.sat import SatResult, SatStatus
+
+_PYSAT_SOLVER_NAME = "minisat22"
+
+
+def pysat_available() -> bool:
+    """Whether the optional ``python-sat`` package is importable."""
+    try:
+        import pysat.solvers  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+class PySATBackend:
+    """Drop-in complete backend running a native PySAT solver.
+
+    Mirrors the :class:`~repro.smt.sat.CDCLSolver` call surface used by the
+    one-shot complete path: construct over a :class:`CNF`, call
+    :meth:`solve` with optional assumption literals, read a
+    :class:`SatResult` back.  Statistics are per-call deltas like the pure
+    core's.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        max_conflicts: Optional[int] = None,
+        solver_name: str = _PYSAT_SOLVER_NAME,
+    ) -> None:
+        from pysat.solvers import Solver
+
+        self._cnf = cnf
+        self.max_conflicts = max_conflicts
+        self._solver = Solver(name=solver_name)
+        self._loaded_clauses = 0
+        self._contradiction = False
+        self._sync_with_cnf()
+
+    def _sync_with_cnf(self) -> None:
+        if self._cnf.has_contradiction:
+            self._contradiction = True
+        while self._loaded_clauses < len(self._cnf.clauses):
+            clause = self._cnf.clauses[self._loaded_clauses]
+            self._loaded_clauses += 1
+            if clause:
+                self._solver.add_clause(list(clause))
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the formula under optional assumption literals."""
+        self._sync_with_cnf()
+        if self._contradiction:
+            return SatResult(status=SatStatus.UNSAT, core=())
+        before = dict(self._solver.accum_stats() or {})
+        assumptions = [int(lit) for lit in assumptions]
+        if self.max_conflicts is not None:
+            self._solver.conf_budget(self.max_conflicts)
+            verdict = self._solver.solve_limited(assumptions=assumptions)
+        else:
+            verdict = self._solver.solve(assumptions=assumptions)
+        after = dict(self._solver.accum_stats() or {})
+
+        def delta(key: str) -> int:
+            return int(after.get(key, 0)) - int(before.get(key, 0))
+
+        stats = dict(
+            conflicts=delta("conflicts"),
+            decisions=delta("decisions"),
+            propagations=delta("propagations"),
+            restarts=delta("restarts"),
+        )
+        if verdict is None:
+            return SatResult(status=SatStatus.UNKNOWN, **stats)
+        if verdict:
+            model = self._solver.get_model() or []
+            assignment = {var: False for var in range(1, self._cnf.num_vars + 1)}
+            for literal in model:
+                assignment[abs(literal)] = literal > 0
+            return SatResult(status=SatStatus.SAT, assignment=assignment, **stats)
+        core_literals = self._solver.get_core() if assumptions else None
+        core = tuple(sorted(core_literals)) if core_literals else ()
+        return SatResult(status=SatStatus.UNSAT, core=core, **stats)
+
+    def delete(self) -> None:
+        """Release the native solver (PySAT objects hold C-side state)."""
+        self._solver.delete()
+
+
+def external_backend(
+    cnf: CNF, max_conflicts: Optional[int] = None
+) -> Optional[PySATBackend]:
+    """Construct a :class:`PySATBackend` if PySAT is importable, else ``None``."""
+    if not pysat_available():
+        return None
+    return PySATBackend(cnf, max_conflicts=max_conflicts)

@@ -1,0 +1,52 @@
+"""Toggling between the flattened and the legacy solving hot path.
+
+The PR that introduced this module rewrote three hot layers at once: the
+CDCL core (object graph -> flat arrays, :mod:`repro.smt.sat` vs
+:mod:`repro.smt.sat_reference`), term evaluation (recursive interpreter ->
+compiled straight-line functions, :mod:`repro.smt.evalcompile`), and the
+Tseitin encoder (per-gate fresh variables -> structural hashing).
+
+:func:`legacy_hot_path` swaps all three back for the duration of a
+``with`` block, which is how the benchmarks measure a live "before" arm
+against the current code instead of trusting historical numbers, and how
+differential tests pin the two paths to identical verdicts.
+
+The swap is process-global (module attributes), so never enter it while a
+solve is running concurrently.  Note one deliberate asymmetry: the
+``Term.variables()`` memo stays on in both arms — it is a pure cache on an
+immutable term, cannot change results, and leaving it on makes the legacy
+arm *faster*, so measured speedups are understated, never inflated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def legacy_hot_path():
+    """Run the enclosed block on the pre-flattening solving hot path."""
+    from repro.smt import bitblast as bitblast_mod
+    from repro.smt import evalmodel as evalmodel_mod
+    from repro.smt import solver as solver_mod
+    from repro.smt.sat_reference import ReferenceCDCLSolver
+
+    saved = (
+        solver_mod.CDCLSolver,
+        bitblast_mod.CDCLSolver,
+        evalmodel_mod.USE_COMPILED,
+        bitblast_mod.STRUCTURAL_HASHING,
+    )
+    solver_mod.CDCLSolver = ReferenceCDCLSolver
+    bitblast_mod.CDCLSolver = ReferenceCDCLSolver
+    evalmodel_mod.USE_COMPILED = False
+    bitblast_mod.STRUCTURAL_HASHING = False
+    try:
+        yield
+    finally:
+        (
+            solver_mod.CDCLSolver,
+            bitblast_mod.CDCLSolver,
+            evalmodel_mod.USE_COMPILED,
+            bitblast_mod.STRUCTURAL_HASHING,
+        ) = saved

@@ -1,4 +1,4 @@
-"""An incremental CDCL SAT solver.
+"""An incremental CDCL SAT solver over flat integer arrays.
 
 This is the complete decision procedure backing the portfolio solver: when
 the cheap layers (simplification, interval propagation, sampling) cannot
@@ -8,6 +8,27 @@ handed to this solver.
 The implementation follows the standard conflict-driven clause learning
 recipe: two-watched-literal propagation, first-UIP conflict analysis, VSIDS
 branching with phase saving, Luby restarts and learned-clause deletion.
+
+Unlike the original object-graph implementation (preserved as
+:mod:`repro.smt.sat_reference`), the hot state lives in flat integer
+arrays so propagation and conflict analysis are index arithmetic instead
+of attribute chasing:
+
+* literals are encoded as **literal indices**: variable ``v`` maps to
+  ``2*v`` (positive) and ``2*v + 1`` (negative), so negation is ``idx ^ 1``
+  and the variable is ``idx >> 1``;
+* clauses live in one shared **arena** (a flat ``int`` list): a clause
+  reference ``cref`` is an offset where ``arena[cref]`` holds the size and
+  ``arena[cref + 1 : cref + 1 + size]`` the literal indices, with the two
+  watched literals always at the first two slots;
+* **watch lists** are per-literal-index flat arrays of interleaved
+  ``[cref, blocker]`` pairs.  The blocker is some literal of the clause
+  (initially the other watch); if it is already true the clause is
+  satisfied and the visit skips the arena entirely;
+* assignment (``values`` indexed by literal index), ``reason`` (a cref or
+  ``-1``) and ``level`` are indexed arrays, and VSIDS branching uses an
+  indexed max-heap ordered by ``(activity, lowest variable index)`` — the
+  same variable the original linear argmax scan picked.
 
 The solver is *incremental* in the MiniSat sense:
 
@@ -81,21 +102,15 @@ class SatResult:
         return self.status == SatStatus.UNSAT
 
 
-class _Clause:
-    """A clause with two watched literals (the first two positions)."""
+def _lit_index(literal: int) -> int:
+    """Signed DIMACS-style literal -> literal index (2v / 2v+1)."""
+    return (literal << 1) if literal > 0 else (((-literal) << 1) | 1)
 
-    __slots__ = ("literals", "learned", "activity")
 
-    def __init__(self, literals: List[int], learned: bool = False) -> None:
-        self.literals = literals
-        self.learned = learned
-        self.activity = 0.0
-
-    def __len__(self) -> int:
-        return len(self.literals)
-
-    def __repr__(self) -> str:
-        return f"Clause({self.literals})"
+def _lit_signed(index: int) -> int:
+    """Literal index -> signed DIMACS-style literal."""
+    var = index >> 1
+    return -var if index & 1 else var
 
 
 class CDCLSolver:
@@ -118,22 +133,34 @@ class CDCLSolver:
         self.var_decay = var_decay
         self.clause_decay = clause_decay
 
-        # Assignment state: index by variable (1-based).
-        self.assigns: List[Optional[bool]] = [None]
+        # Assignment state.  ``values`` is indexed by *literal index* and
+        # double-written on every assignment (values[lit] = 1 implies
+        # values[lit ^ 1] = 0); -1 means unassigned.  The remaining arrays
+        # are indexed by variable (1-based).
+        self.values: List[int] = [-1, -1]
         self.level: List[int] = [0]
-        self.reason: List[Optional[_Clause]] = [None]
-        self.saved_phase: List[bool] = [False]
+        self.reason: List[int] = [-1]
+        self.saved_phase: List[int] = [0]
         self.activity: List[float] = [0.0]
         self.var_inc = 1.0
         self.clause_inc = 1.0
 
-        self.trail: List[int] = []
+        # VSIDS order heap: max-heap over variables keyed by
+        # (activity, -variable index); _heap_pos[var] is the slot or -1.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
+
+        self.trail: List[int] = []  # literal indices, in assignment order
         self.trail_lim: List[int] = []
         self.propagation_head = 0
 
-        self.clauses: List[_Clause] = []
-        self.learned: List[_Clause] = []
-        self.watches: Dict[int, List[_Clause]] = {}
+        # Clause arena: arena[cref] = size, then `size` literal indices.
+        self._arena: List[int] = []
+        self.clauses: List[int] = []  # crefs of original clauses
+        self.learned: List[int] = []  # crefs of learned clauses
+        self._clause_act: Dict[int, float] = {}  # learned-clause activity
+        # watches[lit_index] is a flat [cref, blocker, cref, blocker, ...]
+        self.watches: List[List[int]] = [[], []]
 
         self.conflicts = 0
         self.decisions = 0
@@ -152,11 +179,16 @@ class CDCLSolver:
         if num_vars <= self.num_vars:
             return
         extra = num_vars - self.num_vars
-        self.assigns.extend([None] * extra)
+        self.values.extend([-1] * (2 * extra))
         self.level.extend([0] * extra)
-        self.reason.extend([None] * extra)
-        self.saved_phase.extend([False] * extra)
+        self.reason.extend([-1] * extra)
+        self.saved_phase.extend([0] * extra)
         self.activity.extend([0.0] * extra)
+        self._heap_pos.extend([-1] * extra)
+        for _ in range(2 * extra):
+            self.watches.append([])
+        for var in range(self.num_vars + 1, num_vars + 1):
+            self._heap_insert(var)
         self.num_vars = num_vars
 
     def _sync_with_cnf(self) -> None:
@@ -174,74 +206,89 @@ class CDCLSolver:
         while self._loaded_clauses < len(self._cnf.clauses):
             clause = self._cnf.clauses[self._loaded_clauses]
             self._loaded_clauses += 1
-            if not self._add_clause(list(clause)):
+            if not self._add_clause(clause):
                 self._contradiction = True
                 break
 
     # ------------------------------------------------------------------
     # Clause database
     # ------------------------------------------------------------------
-    def _watch(self, literal: int, clause: _Clause) -> None:
-        self.watches.setdefault(literal, []).append(clause)
+    def _alloc(self, lit_indices: List[int]) -> int:
+        arena = self._arena
+        cref = len(arena)
+        arena.append(len(lit_indices))
+        arena.extend(lit_indices)
+        return cref
 
-    def _add_clause(self, literals: List[int]) -> bool:
+    def _add_clause(self, literals: Sequence[int]) -> bool:
         """Add an original clause at level 0; ``False`` on a contradiction.
 
         (Learned clauses take the separate :meth:`_learn` path, which
         asserts at the backjump level instead of simplifying at the root.)
         """
-        literals = list(dict.fromkeys(literals))
-        if any(-lit in literals for lit in literals):
-            return True
+        indices = []
+        seen = set()
+        for lit in literals:
+            idx = _lit_index(int(lit))
+            if idx not in seen:
+                seen.add(idx)
+                indices.append(idx)
+        for idx in indices:
+            if idx ^ 1 in seen:
+                return True  # tautology
         # Root-level simplification: a literal true at level 0 satisfies the
         # clause forever; one false at level 0 can never help it.
+        values = self.values
         kept: List[int] = []
-        for lit in literals:
-            value = self._value(lit)
-            if value is None:
-                kept.append(lit)
-            elif value is True:
+        for idx in indices:
+            value = values[idx]
+            if value < 0:
+                kept.append(idx)
+            elif value == 1:
                 return True
-            # value is False at level 0: drop the literal.
+            # value == 0 at level 0: drop the literal.
         if not kept:
             return False
         if len(kept) == 1:
-            self._assign(kept[0], None)
+            self._assign(kept[0], -1)
             return True
-        clause = _Clause(kept)
-        self.clauses.append(clause)
-        self._watch(kept[0], clause)
-        self._watch(kept[1], clause)
+        cref = self._alloc(kept)
+        self.clauses.append(cref)
+        self.watches[kept[0]].append(cref)
+        self.watches[kept[0]].append(kept[1])
+        self.watches[kept[1]].append(cref)
+        self.watches[kept[1]].append(kept[0])
         return True
 
     # ------------------------------------------------------------------
     # Assignment helpers
     # ------------------------------------------------------------------
-    def _value(self, literal: int) -> Optional[bool]:
-        assigned = self.assigns[abs(literal)]
-        if assigned is None:
-            return None
-        return assigned if literal > 0 else not assigned
-
-    def _assign(self, literal: int, reason: Optional[_Clause]) -> None:
-        var = abs(literal)
-        self.assigns[var] = literal > 0
-        self.level[var] = self._decision_level()
-        self.reason[var] = reason
-        self.saved_phase[var] = literal > 0
-        self.trail.append(literal)
+    def _assign(self, lit_index: int, reason_cref: int) -> None:
+        var = lit_index >> 1
+        self.values[lit_index] = 1
+        self.values[lit_index ^ 1] = 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason_cref
+        self.saved_phase[var] = (lit_index & 1) ^ 1
+        self.trail.append(lit_index)
 
     def _decision_level(self) -> int:
         return len(self.trail_lim)
 
     def _backtrack(self, target_level: int) -> None:
-        if self._decision_level() <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
         cut = self.trail_lim[target_level]
-        for literal in self.trail[cut:]:
-            var = abs(literal)
-            self.assigns[var] = None
-            self.reason[var] = None
+        values = self.values
+        reason = self.reason
+        heap_pos = self._heap_pos
+        for lit_index in self.trail[cut:]:
+            values[lit_index] = -1
+            values[lit_index ^ 1] = -1
+            var = lit_index >> 1
+            reason[var] = -1
+            if heap_pos[var] < 0:
+                self._heap_insert(var)
         del self.trail[cut:]
         del self.trail_lim[target_level:]
         self.propagation_head = min(self.propagation_head, len(self.trail))
@@ -249,130 +296,243 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit-propagate; returns a conflicting clause or ``None``."""
-        while self.propagation_head < len(self.trail):
-            literal = self.trail[self.propagation_head]
-            self.propagation_head += 1
-            self.propagations += 1
-            falsified = -literal
-            watchers = self.watches.get(falsified, [])
-            new_watchers: List[_Clause] = []
-            index = 0
-            conflict: Optional[_Clause] = None
-            while index < len(watchers):
-                clause = watchers[index]
-                index += 1
-                literals = clause.literals
-                # Normalise so literals[0] is the other watched literal.
-                if literals[0] == falsified:
-                    literals[0], literals[1] = literals[1], literals[0]
-                if self._value(literals[0]) is True:
-                    new_watchers.append(clause)
+    def _propagate(self) -> int:
+        """Unit-propagate; returns a conflicting cref or ``-1``.
+
+        This is the hottest loop in the solver: it walks flat watch arrays
+        of ``[cref, blocker]`` pairs and only touches the clause arena when
+        the blocker literal is not already satisfied.
+        """
+        values = self.values
+        arena = self._arena
+        watches = self.watches
+        trail = self.trail
+        trail_lim = self.trail_lim
+        level = self.level
+        reason = self.reason
+        saved_phase = self.saved_phase
+        head = self.propagation_head
+        props = 0
+        conflict = -1
+        while head < len(trail):
+            falsified = trail[head] ^ 1
+            head += 1
+            props += 1
+            ws = watches[falsified]
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                cref = ws[i]
+                blocker = ws[i + 1]
+                if values[blocker] == 1:
+                    ws[j] = cref
+                    ws[j + 1] = blocker
+                    j += 2
+                    i += 2
+                    continue
+                base = cref + 1
+                # Normalise so arena[base] is the other watched literal.
+                first = arena[base]
+                if first == falsified:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = falsified
+                if values[first] == 1:
+                    ws[j] = cref
+                    ws[j + 1] = first
+                    j += 2
+                    i += 2
                     continue
                 # Look for a new literal to watch.
                 found = False
-                for alt in range(2, len(literals)):
-                    if self._value(literals[alt]) is not False:
-                        literals[1], literals[alt] = literals[alt], literals[1]
-                        self._watch(literals[1], clause)
+                for alt in range(base + 2, base + arena[cref]):
+                    lit = arena[alt]
+                    if values[lit] != 0:
+                        arena[base + 1] = lit
+                        arena[alt] = falsified
+                        other = watches[lit]
+                        other.append(cref)
+                        other.append(first)
                         found = True
                         break
                 if found:
+                    i += 2
                     continue
                 # Clause is unit or conflicting.
-                new_watchers.append(clause)
-                if self._value(literals[0]) is False:
+                ws[j] = cref
+                ws[j + 1] = first
+                j += 2
+                i += 2
+                if values[first] == 0:
                     # Conflict: keep remaining watchers and report.
-                    new_watchers.extend(watchers[index:])
-                    conflict = clause
+                    while i < n:
+                        ws[j] = ws[i]
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                        i += 2
+                    conflict = cref
                     break
-                self._assign(literals[0], clause)
-            self.watches[falsified] = new_watchers
-            if conflict is not None:
-                return conflict
-        return None
+                var = first >> 1
+                values[first] = 1
+                values[first ^ 1] = 0
+                level[var] = len(trail_lim)
+                reason[var] = cref
+                saved_phase[var] = (first & 1) ^ 1
+                trail.append(first)
+            del ws[j:]
+            if conflict >= 0:
+                break
+        self.propagation_head = head
+        self.propagations += props
+        return conflict
 
     # ------------------------------------------------------------------
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
-    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        arena = self._arena
+        level = self.level
+        trail = self.trail
         learned: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        seen = bytearray(self.num_vars + 1)
         counter = 0
-        literal = 0
-        clause: Optional[_Clause] = conflict
-        trail_index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        uip_var = -1
+        cref = conflict
+        trail_index = len(trail) - 1
 
         while True:
-            assert clause is not None
-            self._bump_clause(clause)
-            for clause_literal in clause.literals:
-                var = abs(clause_literal)
+            self._bump_clause(cref)
+            for pos in range(cref + 1, cref + 1 + arena[cref]):
+                lit = arena[pos]
+                var = lit >> 1
                 # Skip the literal this clause propagated (the reason clause
                 # of a variable contains the variable itself).
-                if literal != 0 and var == abs(literal):
+                if var == uip_var:
                     continue
-                if not seen[var] and self.level[var] > 0:
-                    seen[var] = True
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
                     self._bump_var(var)
-                    if self.level[var] >= self._decision_level():
+                    if level[var] >= current_level:
                         counter += 1
                     else:
-                        learned.append(clause_literal)
+                        learned.append(lit)
             # Select the next literal to expand from the trail.
-            while not seen[abs(self.trail[trail_index])]:
+            while not seen[trail[trail_index] >> 1]:
                 trail_index -= 1
-            literal = self.trail[trail_index]
+            uip_lit = trail[trail_index]
             trail_index -= 1
-            var = abs(literal)
-            seen[var] = False
+            uip_var = uip_lit >> 1
+            seen[uip_var] = 0
             counter -= 1
-            clause = self.reason[var]
+            cref = self.reason[uip_var]
             if counter == 0:
                 break
-        learned[0] = -literal
+        learned[0] = uip_lit ^ 1
 
         # Compute the backjump level (second-highest level in the clause).
         if len(learned) == 1:
             backjump = 0
         else:
-            levels = sorted((self.level[abs(lit)] for lit in learned[1:]), reverse=True)
-            backjump = levels[0]
+            backjump = max(level[lit >> 1] for lit in learned[1:])
         return learned, backjump
 
     # ------------------------------------------------------------------
-    # VSIDS
+    # VSIDS (indexed max-heap keyed by activity, ties to lowest variable)
     # ------------------------------------------------------------------
+    def _heap_insert(self, var: int) -> None:
+        heap = self._heap
+        self._heap_pos[var] = len(heap)
+        heap.append(var)
+        self._heap_sift_up(len(heap) - 1)
+
+    def _heap_sift_up(self, slot: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        activity = self.activity
+        var = heap[slot]
+        act = activity[var]
+        while slot > 0:
+            parent = (slot - 1) >> 1
+            pvar = heap[parent]
+            pact = activity[pvar]
+            if pact > act or (pact == act and pvar < var):
+                break
+            heap[slot] = pvar
+            pos[pvar] = slot
+            slot = parent
+        heap[slot] = var
+        pos[var] = slot
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        pos = self._heap_pos
+        activity = self.activity
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            # Sift the displaced last element down from the root.
+            slot = 0
+            size = len(heap)
+            act = activity[last]
+            while True:
+                child = 2 * slot + 1
+                if child >= size:
+                    break
+                cvar = heap[child]
+                cact = activity[cvar]
+                right = child + 1
+                if right < size:
+                    rvar = heap[right]
+                    ract = activity[rvar]
+                    if ract > cact or (ract == cact and rvar < cvar):
+                        child = right
+                        cvar = rvar
+                        cact = ract
+                if act > cact or (act == cact and last < cvar):
+                    break
+                heap[slot] = cvar
+                pos[cvar] = slot
+                slot = child
+            heap[slot] = last
+            pos[last] = slot
+        return top
+
     def _bump_var(self, var: int) -> None:
-        self.activity[var] += self.var_inc
-        if self.activity[var] > 1e100:
+        activity = self.activity
+        activity[var] += self.var_inc
+        if activity[var] > 1e100:
+            # Rescaling preserves relative order, so the heap stays valid.
             for index in range(1, self.num_vars + 1):
-                self.activity[index] *= 1e-100
+                activity[index] *= 1e-100
             self.var_inc *= 1e-100
+        if self._heap_pos[var] >= 0:
+            self._heap_sift_up(self._heap_pos[var])
 
     def _decay_var_activity(self) -> None:
         self.var_inc /= self.var_decay
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        if clause.learned:
-            clause.activity += self.clause_inc
-            if clause.activity > 1e20:
-                for learned in self.learned:
-                    learned.activity *= 1e-20
+    def _bump_clause(self, cref: int) -> None:
+        act = self._clause_act
+        if cref in act:
+            act[cref] += self.clause_inc
+            if act[cref] > 1e20:
+                for learned_cref in act:
+                    act[learned_cref] *= 1e-20
                 self.clause_inc *= 1e-20
 
     def _decay_clause_activity(self) -> None:
         self.clause_inc /= self.clause_decay
 
     def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.assigns[var] is None and self.activity[var] > best_activity:
-                best_var = var
-                best_activity = self.activity[var]
-        return best_var
+        heap = self._heap
+        values = self.values
+        while heap:
+            var = self._heap_pop()
+            if values[var << 1] < 0:
+                return var
+        return None
 
     # ------------------------------------------------------------------
     # Learned clause management
@@ -380,16 +540,26 @@ class CDCLSolver:
     def _reduce_learned(self) -> None:
         if len(self.learned) < 2000:
             return
-        self.learned.sort(key=lambda c: c.activity)
+        arena = self._arena
+        act = self._clause_act
+        self.learned.sort(key=act.__getitem__)
         keep_from = len(self.learned) // 2
-        removed = set(id(c) for c in self.learned[:keep_from] if len(c) > 2)
+        removed = set(c for c in self.learned[:keep_from] if arena[c] > 2)
         if not removed:
             return
-        self.learned = [c for c in self.learned if id(c) not in removed]
-        for literal in list(self.watches):
-            self.watches[literal] = [
-                c for c in self.watches[literal] if id(c) not in removed
-            ]
+        self.learned = [c for c in self.learned if c not in removed]
+        for cref in removed:
+            del act[cref]
+        for ws in self.watches:
+            if not ws:
+                continue
+            j = 0
+            for i in range(0, len(ws), 2):
+                if ws[i] not in removed:
+                    ws[j] = ws[i]
+                    ws[j + 1] = ws[i + 1]
+                    j += 2
+            del ws[j:]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -412,8 +582,7 @@ class CDCLSolver:
         if self._contradiction:
             return self._result(SatStatus.UNSAT, marks=marks, core=())
 
-        conflict = self._propagate()
-        if conflict is not None:
+        if self._propagate() >= 0:
             self._contradiction = True
             return self._result(SatStatus.UNSAT, marks=marks, core=())
 
@@ -421,12 +590,13 @@ class CDCLSolver:
         restart_threshold = 100
         luby = _luby_sequence()
         next_restart = self.conflicts + restart_threshold * next(luby)
+        values = self.values
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.conflicts += 1
-                if self._decision_level() == 0:
+                if not self.trail_lim:
                     self._contradiction = True
                     return self._result(SatStatus.UNSAT, marks=marks, core=())
                 learned, backjump_level = self._analyze(conflict)
@@ -446,35 +616,36 @@ class CDCLSolver:
                     self._reduce_learned()
                 continue
 
-            if self._decision_level() < len(assumptions):
+            if len(self.trail_lim) < len(assumptions):
                 # Establish the next assumption as a pseudo-decision.  A
                 # level is opened even when the literal already holds, so
                 # the level index always tells how many assumptions are in
                 # force (and backjumps re-establish the rest on the way
                 # back down).
-                literal = assumptions[self._decision_level()]
-                value = self._value(literal)
-                if value is False:
+                literal = assumptions[len(self.trail_lim)]
+                lit_index = _lit_index(literal)
+                value = values[lit_index]
+                if value == 0:
                     return self._result(
                         SatStatus.UNSAT,
                         marks=marks,
                         core=self._analyze_final(literal),
                     )
                 self.trail_lim.append(len(self.trail))
-                if value is None:
-                    self._assign(literal, None)
+                if value < 0:
+                    self._assign(lit_index, -1)
                 continue
 
             variable = self._pick_branch_variable()
             if variable is None:
                 assignment = {
-                    var: bool(self.assigns[var]) for var in range(1, self.num_vars + 1)
+                    var: values[var << 1] == 1 for var in range(1, self.num_vars + 1)
                 }
                 return self._result(SatStatus.SAT, assignment, marks=marks)
             self.decisions += 1
             self.trail_lim.append(len(self.trail))
-            phase = self.saved_phase[variable]
-            self._assign(variable if phase else -variable, None)
+            lit_index = (variable << 1) | (self.saved_phase[variable] ^ 1)
+            self._assign(lit_index, -1)
 
     def _analyze_final(self, failed: int) -> Tuple[int, ...]:
         """Explain a falsified assumption as a core over assumption literals.
@@ -488,40 +659,46 @@ class CDCLSolver:
         jointly unsatisfiable with the formula.  Level-0 assignments are
         implied by the formula alone and contribute nothing.
         """
+        arena = self._arena
+        level = self.level
         core = {failed}
-        if self.level[abs(failed)] == 0:
+        failed_var = abs(failed)
+        if level[failed_var] == 0:
             return tuple(sorted(core))
-        pending = {abs(failed)}
-        for trail_literal in reversed(self.trail):
-            var = abs(trail_literal)
+        pending = {failed_var}
+        for lit_index in reversed(self.trail):
+            var = lit_index >> 1
             if var not in pending:
                 continue
             pending.discard(var)
-            reason = self.reason[var]
-            if reason is None:
-                core.add(trail_literal)
+            reason_cref = self.reason[var]
+            if reason_cref < 0:
+                core.add(_lit_signed(lit_index))
                 continue
-            for clause_literal in reason.literals:
-                other = abs(clause_literal)
-                if other != var and self.level[other] > 0:
+            for pos in range(reason_cref + 1, reason_cref + 1 + arena[reason_cref]):
+                other = arena[pos] >> 1
+                if other != var and level[other] > 0:
                     pending.add(other)
         return tuple(sorted(core))
 
     def _learn(self, learned: List[int]) -> None:
         if len(learned) == 1:
-            self._assign(learned[0], None)
+            self._assign(learned[0], -1)
             return
-        literals = list(learned)
+        level = self.level
         # Watch the asserting literal (position 0) and, to keep the watch
         # invariant intact across later backtracking, the literal assigned at
         # the highest remaining decision level (position 1).
-        best = max(range(1, len(literals)), key=lambda i: self.level[abs(literals[i])])
-        literals[1], literals[best] = literals[best], literals[1]
-        clause = _Clause(literals, learned=True)
-        self.learned.append(clause)
-        self._watch(literals[0], clause)
-        self._watch(literals[1], clause)
-        self._assign(literals[0], clause)
+        best = max(range(1, len(learned)), key=lambda i: level[learned[i] >> 1])
+        learned[1], learned[best] = learned[best], learned[1]
+        cref = self._alloc(learned)
+        self.learned.append(cref)
+        self._clause_act[cref] = 0.0
+        self.watches[learned[0]].append(cref)
+        self.watches[learned[0]].append(learned[1])
+        self.watches[learned[1]].append(cref)
+        self.watches[learned[1]].append(learned[0])
+        self._assign(learned[0], cref)
 
     def _result(
         self,

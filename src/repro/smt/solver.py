@@ -62,6 +62,7 @@ from repro.smt.evalmodel import EvaluationError, Model, satisfies
 from repro.smt.heuristics import try_algebraic_solution
 from repro.smt.interval import Interval, propagate_intervals
 from repro.smt.sampler import ModelSampler, SamplerConfig, split_conjuncts
+from repro.smt.extsat import external_backend
 from repro.smt.sat import CDCLSolver, SatResult, SatStatus
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term, TermKind
@@ -108,6 +109,16 @@ class SolverResult:
         return self.status == SolverStatus.UNKNOWN
 
 
+class ExternalSatParityError(AssertionError):
+    """The external SAT backend and the pure core disagreed on a status.
+
+    Raised only when ``SolverConfig.external_sat_shadow`` is on.  A
+    SAT/UNSAT split between the two complete backends on the same CNF is a
+    soundness bug in one of them; the shadow turns it into a loud failure
+    instead of a silently divergent classification.
+    """
+
+
 @dataclass
 class SolverConfig:
     """Tuning knobs for :class:`PortfolioSolver`."""
@@ -143,6 +154,22 @@ class SolverConfig:
     #: statuses and models are identical
     #: (``repro campaign --no-cnf-skeletons`` disables it).
     enable_cnf_skeletons: bool = True
+    #: Route one-shot complete solves through a native external SAT solver
+    #: (PySAT) when the optional ``python-sat`` package is importable.  Off
+    #: by default: the default configuration must never depend on an
+    #: optional dependency, and cached verdicts are fingerprinted on this
+    #: knob so pure and external stores never mix
+    #: (``repro campaign --external-sat`` enables it,
+    #: ``--no-external-sat`` is the explicit ablation spelling).
+    #: Incremental sessions always use the pure core — its
+    #: assumption/learned-clause API is what push/pop is built on.
+    enable_external_sat: bool = False
+    #: Shadow every external verdict with the pure CDCL core on the same
+    #: CNF and raise on a SAT/UNSAT disagreement (UNKNOWN on either side is
+    #: a budget artifact and compatible with anything).  CI's
+    #: external-sat-smoke job runs with the shadow on; it costs a full pure
+    #: solve per query, so it is a verification mode, not a speed mode.
+    external_sat_shadow: bool = False
 
     def fingerprint(self) -> Tuple:
         """The knobs a cached verdict depends on.
@@ -173,6 +200,8 @@ class SolverConfig:
             self.enable_unsat_cores,
             self.reuse_sessions,
             self.enable_cnf_skeletons,
+            self.enable_external_sat,
+            self.external_sat_shadow,
         )
 
 
@@ -206,6 +235,9 @@ class SolverTelemetry:
         "sessions_reused": "solver.sessions_reused",
         "skeleton_hits": "solver.skeleton_hits",
         "skeleton_stores": "solver.skeleton_stores",
+        "propagations": "solver.propagations",
+        "sat_decisions": "solver.sat_decisions",
+        "external_calls": "solver.external_calls",
     }
 
     #: Registry histogram behind the legacy ``bitblast_seconds`` float.
@@ -266,6 +298,16 @@ class SolverTelemetry:
             self._registry.counter("solver.cdcl_propagations").inc(
                 result.propagations
             )
+            # Flattened-loop work counters: wire-merged like every other
+            # ``solver.*`` name, so the propagation/decision volume of the
+            # SAT core is visible in ``campaign --json`` and trace reports
+            # regardless of which complete backend ran.
+            self._registry.counter("solver.propagations").inc(result.propagations)
+            self._registry.counter("solver.sat_decisions").inc(result.decisions)
+
+    def record_external_solve(self) -> None:
+        """A complete solve ran on the external (PySAT) backend."""
+        self._registry.counter("solver.external_calls").inc()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:
@@ -284,6 +326,9 @@ class SolverTelemetry:
             "sessions_reused",
             "skeleton_hits",
             "skeleton_stores",
+            "propagations",
+            "sat_decisions",
+            "external_calls",
         ):
             value = raw[key] - self._mark.get(key, 0)
             if key == "bitblast_seconds":
@@ -398,28 +443,36 @@ class PortfolioSolver:
     # ------------------------------------------------------------------
     def check(self, constraints: Iterable[Term]) -> SolverResult:
         """Decide the conjunction of ``constraints``."""
-        with TRACER.span("solve", session=False):
+        with TRACER.span("solve", session=False) as span:
+            mark = METRICS.counter("solver.propagations").value
             started = time.perf_counter()
             self.query_count += 1
             TELEMETRY.record_query(session=False)
             constraint_list = [simplify(c) for c in constraints]
             stages: List[str] = []
 
-            # Layer 1: simplification may already decide the query.
-            stages.append("simplify")
-            decided = self._decide_by_simplification(constraint_list)
-            if decided is not None:
-                return self._finish(decided, started, stages)
+            try:
+                # Layer 1: simplification may already decide the query.
+                stages.append("simplify")
+                decided = self._decide_by_simplification(constraint_list)
+                if decided is not None:
+                    return self._finish(decided, started, stages)
 
-            conjuncts: List[Term] = []
-            for constraint in constraint_list:
-                conjuncts.extend(split_conjuncts(constraint))
+                conjuncts: List[Term] = []
+                for constraint in constraint_list:
+                    conjuncts.extend(split_conjuncts(constraint))
 
-            if self.cache is not None:
-                return self._check_cached(conjuncts, started, stages)
-            return self._finish(
-                self._solve_conjuncts(conjuncts, stages), started, stages
-            )
+                if self.cache is not None:
+                    return self._check_cached(conjuncts, started, stages)
+                return self._finish(
+                    self._solve_conjuncts(conjuncts, stages), started, stages
+                )
+            finally:
+                # Propagation-loop work attributed to this solve, so trace
+                # reports can rank queries by SAT-core effort, not just wall.
+                span.attrs["propagations"] = (
+                    METRICS.counter("solver.propagations").value - mark
+                )
 
     def open_session(self) -> "SolverSession":
         """Create an incremental push/pop session backed by this solver.
@@ -432,25 +485,31 @@ class PortfolioSolver:
 
     def _check_session(self, session: "SolverSession") -> SolverResult:
         """Decide a session's conjunction (see :meth:`SolverSession.check`)."""
-        with TRACER.span("solve", session=True):
+        with TRACER.span("solve", session=True) as span:
+            mark = METRICS.counter("solver.propagations").value
             started = time.perf_counter()
             self.query_count += 1
             TELEMETRY.record_query(session=True)
             stages: List[str] = ["simplify"]
             conjuncts = list(session.conjuncts)
 
-            decided = self._decide_by_simplification(conjuncts)
-            if decided is not None:
-                return self._finish(decided, started, stages)
-            if self.cache is not None:
-                return self._check_cached(
-                    conjuncts, started, stages, bitblast_fn=session
+            try:
+                decided = self._decide_by_simplification(conjuncts)
+                if decided is not None:
+                    return self._finish(decided, started, stages)
+                if self.cache is not None:
+                    return self._check_cached(
+                        conjuncts, started, stages, bitblast_fn=session
+                    )
+                return self._finish(
+                    self._solve_conjuncts(conjuncts, stages, session),
+                    started,
+                    stages,
                 )
-            return self._finish(
-                self._solve_conjuncts(conjuncts, stages, session),
-                started,
-                stages,
-            )
+            finally:
+                span.attrs["propagations"] = (
+                    METRICS.counter("solver.propagations").value - mark
+                )
 
     def solve_for_model(self, constraints: Iterable[Term]) -> Optional[Model]:
         """Return a model of the conjunction, or ``None`` if UNSAT/UNKNOWN."""
@@ -871,6 +930,34 @@ class PortfolioSolver:
         # useful amount of time, so the portfolio degrades to UNKNOWN instead.
         return wide_multiplications <= 2
 
+    def _complete_solve(self, cnf) -> SatResult:
+        """Run the complete backend on a blasted CNF (one-shot path).
+
+        The pure :class:`CDCLSolver` is the default.  When
+        ``enable_external_sat`` is on and ``python-sat`` is importable the
+        query runs on the external backend instead — with the optional
+        shadow re-solving it on the pure core and refusing to continue on a
+        SAT/UNSAT disagreement, so an external run can never classify
+        differently without failing loudly.  Incremental sessions never
+        route here; they are built on the pure core's assumption API.
+        """
+        budget = self.config.bitblast_max_conflicts
+        if self.config.enable_external_sat:
+            backend = external_backend(cnf, max_conflicts=budget)
+            if backend is not None:
+                result = backend.solve()
+                TELEMETRY.record_external_solve()
+                if self.config.external_sat_shadow:
+                    pure = CDCLSolver(cnf, max_conflicts=budget).solve()
+                    statuses = {result.status, pure.status}
+                    if SatStatus.UNKNOWN not in statuses and len(statuses) > 1:
+                        raise ExternalSatParityError(
+                            f"external backend said {result.status}, "
+                            f"pure CDCL said {pure.status}"
+                        )
+                return result
+        return CDCLSolver(cnf, max_conflicts=budget).solve()
+
     def _bitblast(self, conjuncts: Sequence[Term]) -> Tuple[str, Optional[Model]]:
         if self.cache is not None and self.config.enable_cnf_skeletons:
             via_skeleton = self._bitblast_via_skeleton(conjuncts)
@@ -879,12 +966,8 @@ class PortfolioSolver:
         started = time.perf_counter()
         try:
             blaster = BitBlaster()
-            for conjunct in conjuncts:
-                blaster.assert_constraint(conjunct)
-            solver = CDCLSolver(
-                blaster.cnf, max_conflicts=self.config.bitblast_max_conflicts
-            )
-            result = solver.solve()
+            blaster.assert_all(conjuncts)
+            result = self._complete_solve(blaster.cnf)
         except (BitBlastError, RecursionError, MemoryError):
             TELEMETRY.record_bitblast(time.perf_counter() - started, None)
             return SatStatus.UNKNOWN, None
@@ -919,8 +1002,7 @@ class PortfolioSolver:
         if skeleton is None:
             try:
                 blaster = BitBlaster()
-                for conjunct in system.conjuncts:
-                    blaster.assert_constraint(conjunct)
+                blaster.assert_all(system.conjuncts)
             except (BitBlastError, RecursionError, MemoryError):
                 TELEMETRY.record_bitblast(time.perf_counter() - started, None)
                 return SatStatus.UNKNOWN, None
@@ -932,9 +1014,7 @@ class PortfolioSolver:
             TELEMETRY.record_skeleton_hit()
             cnf = skeleton.build_cnf()
         try:
-            result = CDCLSolver(
-                cnf, max_conflicts=self.config.bitblast_max_conflicts
-            ).solve()
+            result = self._complete_solve(cnf)
         except (RecursionError, MemoryError):
             TELEMETRY.record_bitblast(time.perf_counter() - started, None)
             return SatStatus.UNKNOWN, None

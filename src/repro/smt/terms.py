@@ -148,7 +148,17 @@ class Term:
             / ``SEXT`` target widths).
     """
 
-    __slots__ = ("kind", "args", "width", "value", "name", "params", "_hash", "_id")
+    __slots__ = (
+        "kind",
+        "args",
+        "width",
+        "value",
+        "name",
+        "params",
+        "_hash",
+        "_id",
+        "_vars",
+    )
 
     _intern_lock = threading.Lock()
     _intern: Dict[tuple, "Term"] = {}
@@ -173,6 +183,7 @@ class Term:
         self.params = params
         self._hash = _hash
         self._id = _id
+        self._vars: Optional[Tuple["Term", ...]] = None
 
     # ------------------------------------------------------------------
     # Interning
@@ -248,7 +259,15 @@ class Term:
     # Traversal helpers
     # ------------------------------------------------------------------
     def variables(self) -> Tuple["Term", ...]:
-        """Return all distinct variable leaves, in first-occurrence order."""
+        """Return all distinct variable leaves, sorted by name.
+
+        Terms are immutable and hash-consed, so the answer is computed once
+        and cached on the term — the sampler's hill climber asks for the
+        variables of the same conjuncts millions of times per campaign.
+        """
+        cached = self._vars
+        if cached is not None:
+            return cached
         seen = set()
         out = []
         stack = [self]
@@ -264,7 +283,9 @@ class Term:
         # First-occurrence ordering: the stack walk above is depth-first from
         # the right, so re-sort by creation id to get a deterministic order.
         out.sort(key=lambda t: t.name or "")
-        return tuple(out)
+        result = tuple(out)
+        self._vars = result
+        return result
 
     def subterms(self) -> Tuple["Term", ...]:
         """Return every distinct subterm (including ``self``)."""

@@ -212,6 +212,24 @@ class TestAggregation:
         assert by_name["solve"].count == 2
         assert by_name["unit"].total_seconds >= by_name["concolic"].total_seconds
 
+    def test_stage_summaries_sum_propagation_attrs(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        tracer = Tracer()
+        sink = JsonlSink(trace_dir)
+        tracer.add_sink(sink)
+        for work in (100, 42):
+            with tracer.span("solve", session=False) as span:
+                span.attrs["propagations"] = work
+        with tracer.span("enforce"):
+            pass
+        sink.close()
+        by_name = {
+            s.name: s for s in stage_summaries(load_trace_dir(trace_dir))
+        }
+        assert by_name["solve"].propagations == 142
+        assert by_name["enforce"].propagations == 0
+        assert by_name["solve"].as_dict()["propagations"] == 142
+
     def test_unit_summaries_roll_up_direct_children_only(self, tmp_path):
         data = self._sample_trace(tmp_path)
         units = unit_summaries(data)

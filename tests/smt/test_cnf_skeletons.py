@@ -51,6 +51,21 @@ def _square_residue_system(residue, tag=""):
     ]
 
 
+def _hard_residue_system(residue, tag=""):
+    """Like :func:`_square_residue_system` but mod 32 (squares are
+    {0, 1, 4, 9, 16, 17, 25}): the structurally-hashed encoder refutes the
+    mod-8 variants by root propagation alone, while these still cost the
+    CDCL core several conflicts — which is what a budget-exhaustion test
+    needs."""
+    x = b.bv_var(f"hr{tag}", WIDTH)
+    return [
+        b.eq(
+            b.bvand(b.mul(x, x), b.bv_const(31, WIDTH)),
+            b.bv_const(residue, WIDTH),
+        )
+    ]
+
+
 def _exact_square_system(root, tag=""):
     """SAT, but only by CDCL: the sampler would have to guess ``root``."""
     x = b.bv_var(f"xs{tag}", WIDTH)
@@ -114,7 +129,7 @@ class TestSkeletonWarmPath:
         re-blasting and classifies identically."""
         config = _stress_config(bitblast_max_conflicts=1)
         fingerprint = config.fingerprint()
-        system = _square_residue_system(3, "ukw")  # 3 is not a square residue
+        system = _hard_residue_system(5, "ukw")  # 5 is not a square mod 32
         cache_cold = SolverCache()
         cold = PortfolioSolver(config, cache=cache_cold).check(system)
         assert cold.is_unknown

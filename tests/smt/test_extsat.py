@@ -1,0 +1,219 @@
+"""The optional external-SAT portfolio arm.
+
+Two regimes, matching CI's two matrices:
+
+* **without** ``python-sat`` installed (the default matrix): the knob is
+  inert — ``external_backend`` returns ``None`` and every solve falls
+  back to the pure core, statuses unchanged;
+* **with** it installed (the ``external-sat-smoke`` job): the backend is
+  a drop-in — statuses, models and assumption cores line up with the
+  pure :class:`CDCLSolver` on generated CNFs, and the shadow raises on a
+  fabricated disagreement.
+
+The shadow-parity machinery itself is tested in both regimes by stubbing
+the backend, so a missing optional dependency never skips the safety
+logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import builder as b
+from repro.smt import solver as solver_mod
+from repro.smt.cnf import CNF
+from repro.smt.extsat import PySATBackend, external_backend, pysat_available
+from repro.smt.sat import CDCLSolver, SatResult, SatStatus
+from repro.smt.solver import (
+    ExternalSatParityError,
+    PortfolioSolver,
+    SolverConfig,
+)
+
+needs_pysat = pytest.mark.skipif(
+    not pysat_available(), reason="optional python-sat package not installed"
+)
+
+
+def _cdcl_bound_system(tag, residue=5):
+    x = b.bv_var(f"xs{tag}", 16)
+    return [
+        b.eq(b.bvand(b.mul(x, x), b.bv_const(31, 16)), b.bv_const(residue, 16))
+    ]
+
+
+@st.composite
+def random_cnfs(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    literal = st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(
+            st.lists(literal, min_size=1, max_size=4), min_size=0, max_size=16
+        )
+    )
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+# ----------------------------------------------------------------------
+# Both regimes: configuration and fallback behavior
+# ----------------------------------------------------------------------
+class TestKnobs:
+    def test_external_sat_defaults_off(self):
+        config = SolverConfig()
+        assert config.enable_external_sat is False
+        assert config.external_sat_shadow is False
+
+    def test_both_knobs_are_fingerprinted(self):
+        base = SolverConfig().fingerprint()
+        assert SolverConfig(enable_external_sat=True).fingerprint() != base
+        assert SolverConfig(external_sat_shadow=True).fingerprint() != base
+
+    def test_enabled_arm_still_answers_when_pysat_is_missing(self):
+        """With the knob on but no backend available, the pure core runs."""
+        config = SolverConfig(
+            enable_external_sat=True,
+            enable_sessions=False,
+            enable_decomposition=False,
+            heuristic_max_checks=2,
+        )
+        result = PortfolioSolver(config).check(_cdcl_bound_system("fb"))
+        assert result.is_unsat
+        if not pysat_available():
+            assert external_backend(CNF()) is None
+
+
+class TestShadowMachinery:
+    """Stubbed-backend tests: run in both CI regimes."""
+
+    def _solve_with_stub(self, monkeypatch, stub_status, shadow=True):
+        def fake_backend(cnf, max_conflicts=None):
+            class Stub:
+                def solve(self, assumptions=()):
+                    if stub_status == SatStatus.SAT:
+                        return SatResult(
+                            status=SatStatus.SAT,
+                            assignment={
+                                var: True for var in range(1, cnf.num_vars + 1)
+                            },
+                        )
+                    return SatResult(status=stub_status, core=())
+
+            return Stub()
+
+        monkeypatch.setattr(solver_mod, "external_backend", fake_backend)
+        config = SolverConfig(
+            enable_external_sat=True,
+            external_sat_shadow=shadow,
+            enable_sessions=False,
+            enable_decomposition=False,
+            heuristic_max_checks=2,
+        )
+        # UNSAT system: a stub saying SAT fabricates a disagreement.
+        return PortfolioSolver(config).check(_cdcl_bound_system("sh"))
+
+    def test_shadow_raises_on_a_fabricated_disagreement(self, monkeypatch):
+        with pytest.raises(ExternalSatParityError):
+            self._solve_with_stub(monkeypatch, SatStatus.SAT, shadow=True)
+
+    def test_shadow_accepts_an_agreeing_backend(self, monkeypatch):
+        result = self._solve_with_stub(monkeypatch, SatStatus.UNSAT, shadow=True)
+        assert result.is_unsat
+
+    def test_external_unknown_is_compatible_with_any_shadow_verdict(
+        self, monkeypatch
+    ):
+        """Budget artifacts never trip the parity check."""
+        result = self._solve_with_stub(
+            monkeypatch, SatStatus.UNKNOWN, shadow=True
+        )
+        assert result.is_unknown
+
+    def test_without_shadow_the_external_verdict_stands(self, monkeypatch):
+        # Dangerous by design — which is why CI always runs the shadow.
+        result = self._solve_with_stub(monkeypatch, SatStatus.UNSAT, shadow=False)
+        assert result.is_unsat
+
+
+# ----------------------------------------------------------------------
+# PySAT regime only: the real backend
+# ----------------------------------------------------------------------
+@needs_pysat
+class TestPySATBackend:
+    def test_simple_sat_and_unsat(self):
+        cnf = CNF()
+        x, y = cnf.new_var(), cnf.new_var()
+        cnf.add_clause((x, y))
+        cnf.add_clause((-x, y))
+        backend = PySATBackend(cnf)
+        result = backend.solve()
+        assert result.status == SatStatus.SAT
+        assert result.assignment[y] is True
+        cnf.add_unit(-y)
+        assert backend.solve().status == SatStatus.UNSAT
+        backend.delete()
+
+    def test_assumption_core_is_a_subset_of_the_assumptions(self):
+        cnf = CNF()
+        x, y = cnf.new_var(), cnf.new_var()
+        cnf.add_clause((-x, -y))
+        backend = PySATBackend(cnf)
+        result = backend.solve(assumptions=[x, y])
+        assert result.status == SatStatus.UNSAT
+        assert result.core
+        assert set(result.core) <= {x, y}
+        backend.delete()
+
+    def test_contradicted_cnf_reports_unsat(self):
+        cnf = CNF()
+        cnf.add_clause(())
+        backend = PySATBackend(cnf)
+        assert backend.solve().status == SatStatus.UNSAT
+        backend.delete()
+
+    def test_portfolio_statuses_match_the_pure_arm_on_the_registry_shapes(self):
+        pure_config = SolverConfig(
+            enable_sessions=False,
+            enable_decomposition=False,
+            heuristic_max_checks=2,
+        )
+        external_config = SolverConfig(
+            enable_external_sat=True,
+            external_sat_shadow=True,
+            enable_sessions=False,
+            enable_decomposition=False,
+            heuristic_max_checks=2,
+        )
+        systems = [
+            _cdcl_bound_system("p1", residue=5),
+            _cdcl_bound_system("p2", residue=4),
+            _cdcl_bound_system("p3", residue=13),
+        ]
+        for system in systems:
+            pure = PortfolioSolver(pure_config).check(system)
+            external = PortfolioSolver(external_config).check(system)
+            assert external.status == pure.status
+
+
+@needs_pysat
+@settings(max_examples=150, deadline=None)
+@given(random_cnfs())
+def test_pysat_matches_the_pure_core_on_random_cnfs(cnf):
+    pure = CDCLSolver(cnf).solve()
+    backend = PySATBackend(cnf)
+    external = backend.solve()
+    backend.delete()
+    assert external.status == pure.status
+    if external.status == SatStatus.SAT:
+        for clause in cnf.clauses:
+            assert any(
+                external.assignment.get(abs(lit), False) == (lit > 0)
+                for lit in clause
+            )

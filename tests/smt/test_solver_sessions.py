@@ -297,16 +297,18 @@ class TestStageProvenance:
 
 class TestUnknownDegradation:
     def _hard_system(self, tag="u"):
-        """A conjunction only CDCL can decide: no square is 3 mod 8.
+        """A conjunction only CDCL can decide: no square is 5 mod 32.
 
         Interval propagation cannot see the residue argument, the SAT-only
         layers cannot help an UNSAT query, and the CDCL refutation needs
-        more than one conflict — so a one-conflict budget exhausts and the
-        portfolio must degrade to UNKNOWN, never crash.
+        more than one conflict even under the structurally-hashed encoder
+        (the mod-8 variant now falls to root propagation) — so a
+        one-conflict budget exhausts and the portfolio must degrade to
+        UNKNOWN, never crash.
         """
         x = b.bv_var(f"sq{tag}", 16)
         return [
-            b.eq(b.bvand(b.mul(x, x), b.bv_const(7, 16)), b.bv_const(3, 16))
+            b.eq(b.bvand(b.mul(x, x), b.bv_const(31, 16)), b.bv_const(5, 16))
         ]
 
     def _exhausted_config(self):
@@ -490,7 +492,7 @@ class TestFallbackPurity:
         config = _stress_config(bitblast_max_conflicts=1)
         solver = PortfolioSolver(config, cache=cache)
         x = b.bv_var("fb_x", WIDTH)
-        hard = b.eq(b.bvand(b.mul(x, x), b.bv_const(7, WIDTH)), b.bv_const(3, WIDTH))
+        hard = b.eq(b.bvand(b.mul(x, x), b.bv_const(31, WIDTH)), b.bv_const(5, WIDTH))
         session = solver.open_session()
         session.push(hard)
         result = session.check()

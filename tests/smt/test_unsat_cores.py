@@ -191,7 +191,7 @@ class TestSessionCores:
         )
         assert sat.is_sat and sat.unsat_core is None
         hard = b.eq(
-            b.bvand(b.mul(x, x), b.bv_const(7, WIDTH)), b.bv_const(3, WIDTH)
+            b.bvand(b.mul(x, x), b.bv_const(31, WIDTH)), b.bv_const(5, WIDTH)
         )
         unknown = PortfolioSolver(
             _stress_config(bitblast_max_conflicts=1)
