@@ -56,14 +56,25 @@ def write_artifact(payload: dict, name: str = ARTIFACT_NAME) -> str:
     The ``version`` field is force-stamped from ``repro.__version__`` here —
     not left to each bench's payload builder — so a checked-in artifact can
     never carry a stale release string regardless of which script wrote it.
+    The git-describe string rides along the same way, and every write also
+    appends one attributed record to ``BENCH_history.jsonl`` beside the
+    artifact, so the perf trajectory accumulates run over run
+    (compare with ``repro bench-diff``; see :mod:`repro.obs.benchhist`).
     """
+    from repro.obs.attribution import git_describe
+    from repro.obs.benchhist import append_history
+
     payload = dict(payload)
     payload["version"] = __version__
+    described = git_describe()
+    if described is not None:
+        payload["git"] = described
     directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, name)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+    append_history(payload, name, directory)
     return path
 
 

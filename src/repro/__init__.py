@@ -25,7 +25,7 @@ Quickstart::
 #: Single source of truth for the package version: the CLI's ``--version``,
 #: the campaign's ``--json`` output and the benchmark artifacts all read it
 #: from here.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.core.engine import Diode, DiodeConfig
 from repro.apps.registry import all_applications, application_names, get_application

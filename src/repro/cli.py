@@ -9,8 +9,12 @@ Six subcommands cover the common workflows::
     python -m repro.cli campaign --backend process --jobs 4 --cache-dir .diode-cache
     python -m repro.cli campaign --corpus-dir .diode-corpus --skip-known
     python -m repro.cli campaign --trace-dir .diode-trace  # structured run trace
+    python -m repro.cli campaign --progress                # live progress line
     python -m repro.cli replay --corpus-dir .diode-corpus  # regression replay
     python -m repro.cli trace --trace-dir .diode-trace     # render the trace
+    python -m repro.cli events --trace-dir .diode-trace    # event-log summary
+    python -m repro.cli bench-diff --baseline benchmarks/baselines/BENCH_observability.json \
+        --current BENCH_observability.json                 # perf-regression gate
 
 The CLI is a thin layer over :class:`repro.core.engine.Diode`,
 :class:`repro.core.campaign.CampaignEngine` and the witness-triage
@@ -200,6 +204,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.no_events and (args.progress or args.watchdog):
+        print(
+            "--progress and --watchdog are driven by the event stream; "
+            "drop --no-events to use them",
+            file=sys.stderr,
+        )
+        return 2
     config = CampaignConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -212,6 +223,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         minimize_witnesses=not args.no_minimize,
         skip_known=args.skip_known,
         trace_dir=args.trace_dir,
+        events=not args.no_events,
+        watchdog=args.watchdog,
+        progress=args.progress,
     )
     if args.no_incremental:
         config.diode.solver.enable_sessions = False
@@ -242,6 +256,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             ),
             "solver": result.solver_telemetry,
             "metrics": result.metrics,
+            "events": result.events,
             "store": _store_block(result.metrics),
             "trace_dir": args.trace_dir,
             "cache_store": (
@@ -339,6 +354,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"store locks: {store['lock_acquires']} acquired "
             f"({store['lock_wait_seconds']:.3f}s total wait), "
             f"{store['lock_breaks']} stale broken"
+        )
+    if result.events is not None:
+        from repro.obs.events import event_count
+
+        event_counts = result.events.get("events") or {}
+        print(
+            f"event stream: {sum(event_counts.values())} events "
+            f"({event_count(result.events, 'unit.finished')} units finished, "
+            f"{event_count(result.events, 'unit.failed')} failed, "
+            f"{event_count(result.events, 'unit.straggler')} stragglers)"
         )
     if args.trace_dir:
         print(
@@ -439,6 +464,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if data.error:
         print(data.error, file=sys.stderr)
         return 2
+    if not data.records:
+        print(
+            f"no trace records under {args.trace_dir!r} (the campaign wrote "
+            "nothing, or every record was invalid)",
+            file=sys.stderr,
+        )
+        return 2
     stages = stage_summaries(data)
     units = unit_summaries(data)
 
@@ -505,6 +537,216 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"\nChrome trace written to {args.chrome} "
             "(open in chrome://tracing or https://ui.perfetto.dev)"
         )
+    return 0
+
+
+def _format_event_line(record: dict) -> str:
+    import datetime
+
+    stamp = datetime.datetime.fromtimestamp(
+        float(record.get("wall", 0.0))
+    ).strftime("%H:%M:%S.%f")[:-3]
+    attrs = record.get("attrs") or {}
+    subject = ""
+    if "application" in attrs and "site" in attrs:
+        subject = f" {attrs['application']}::{attrs['site']}"
+    extras = " ".join(
+        f"{key}={value}"
+        for key, value in sorted(attrs.items())
+        if key not in ("application", "site")
+    )
+    line = f"{stamp} [{record.get('pid')}] {record.get('name')}{subject}"
+    return f"{line}  {extras}" if extras else line
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.report import event_summaries, load_events_dir
+
+    if args.follow:
+        # Tail mode: poll the directory and print records not yet seen,
+        # until --duration expires (or forever without one).  Records are
+        # unique by (pid, seq) — each process numbers its own.
+        deadline = (
+            None if args.duration is None else _time.monotonic() + args.duration
+        )
+        seen: set = set()
+        printed_error = False
+        while True:
+            data = load_events_dir(args.trace_dir)
+            if data.error:
+                # The campaign may not have created the directory yet;
+                # keep waiting inside the duration window.
+                if deadline is None and not printed_error:
+                    print(f"waiting: {data.error}", file=sys.stderr)
+                    printed_error = True
+            else:
+                for record in data.records:
+                    key = (record.get("pid"), record.get("seq"))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    print(_format_event_line(record))
+            if deadline is not None and _time.monotonic() >= deadline:
+                return 0
+            _time.sleep(args.poll)
+
+    data = load_events_dir(args.trace_dir)
+    if data.error:
+        print(data.error, file=sys.stderr)
+        return 2
+    if not data.records:
+        print(
+            f"no event records under {args.trace_dir!r} (campaign ran with "
+            "--no-events, wrote nothing, or every record was invalid)",
+            file=sys.stderr,
+        )
+        return 2
+    summaries = event_summaries(data)
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "trace_dir": data.trace_dir,
+            "files": data.files,
+            "records": len(data.records),
+            "invalid_records": data.invalid_records,
+            "events": [summary.as_dict() for summary in summaries],
+            "counts": {summary.name: summary.count for summary in summaries},
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    if args.tail:
+        for record in data.records[-args.tail :]:
+            print(_format_event_line(record))
+        return 0
+
+    line = (
+        f"events {data.trace_dir}: {len(data.records)} records "
+        f"from {data.files} file(s)"
+    )
+    if data.invalid_records:
+        line += f"; {data.invalid_records} invalid record(s) skipped"
+    print(line)
+    print(f"\n{'Event':20s} {'Count':>7s} {'Span':>9s}")
+    for summary in summaries:
+        span = summary.last_wall - summary.first_wall
+        print(f"{summary.name:20s} {summary.count:>7d} {span:>8.3f}s")
+    counts = {summary.name: summary.count for summary in summaries}
+    print(
+        f"\n{counts.get('unit.finished', 0)} unit(s) finished, "
+        f"{counts.get('unit.failed', 0)} failed, "
+        f"{counts.get('unit.straggler', 0)} straggler(s), "
+        f"{counts.get('worker.up', 0)} worker(s)"
+    )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.benchhist import (
+        DEFAULT_THRESHOLDS,
+        compare_runs,
+        load_history,
+    )
+
+    def load_payload(path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read benchmark payload {path!r}: {exc}", file=sys.stderr)
+            return None
+        if not isinstance(payload, dict):
+            print(f"benchmark payload {path!r} is not a JSON object", file=sys.stderr)
+            return None
+        return payload
+
+    if bool(args.current) == bool(args.history):
+        print(
+            "give exactly one of --current FILE (an artifact) or "
+            "--history FILE (newest matching record wins)",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_payload(args.baseline)
+    if baseline is None:
+        return 2
+    if args.current:
+        current = load_payload(args.current)
+        if current is None:
+            return 2
+    else:
+        records = load_history(args.history, benchmark=args.benchmark)
+        if not records:
+            wanted = f" for benchmark {args.benchmark!r}" if args.benchmark else ""
+            print(
+                f"no readable history records{wanted} in {args.history!r}",
+                file=sys.stderr,
+            )
+            return 2
+        current = records[-1].get("payload") or {}
+    if baseline.get("benchmark") != current.get("benchmark"):
+        print(
+            f"benchmark mismatch: baseline is {baseline.get('benchmark')!r}, "
+            f"current is {current.get('benchmark')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    benchmark = str(baseline.get("benchmark"))
+    thresholds = DEFAULT_THRESHOLDS.get(benchmark, {})
+    regressions = compare_runs(baseline, current, thresholds)
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "benchmark": benchmark,
+            "baseline": args.baseline,
+            "baseline_version": baseline.get("version"),
+            "current_version": current.get("version"),
+            "watched_metrics": sorted(thresholds),
+            "regressions": [
+                {
+                    "metric": regression.metric,
+                    "baseline": regression.baseline,
+                    "current": regression.current,
+                    "worst_acceptable": regression.threshold.worst_acceptable(
+                        regression.baseline
+                    ),
+                }
+                for regression in regressions
+            ],
+            "ok": not regressions,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if regressions else 0
+
+    print(
+        f"bench-diff [{benchmark}]: baseline v{baseline.get('version')} "
+        f"vs current v{current.get('version')}, "
+        f"{len(thresholds)} watched metric(s)"
+    )
+    from repro.obs.benchhist import metric_value
+
+    for metric in sorted(thresholds):
+        base = metric_value(baseline, metric)
+        cur = metric_value(current, metric)
+        if base is None or cur is None:
+            print(f"  {metric:28s} (absent on one side, skipped)")
+            continue
+        verdict = (
+            "REGRESSION"
+            if any(r.metric == metric for r in regressions)
+            else "ok"
+        )
+        print(f"  {metric:28s} {base:>10.4g} -> {cur:>10.4g}  {verdict}")
+    if regressions:
+        for regression in regressions:
+            print(f"FAIL: {regression.describe()}")
+        return 1
+    print("OK: no regressions")
     return 0
 
 
@@ -672,6 +914,34 @@ def build_parser() -> argparse.ArgumentParser:
             "workers); render afterwards with the trace subcommand"
         ),
     )
+    campaign.add_argument(
+        "--no-events",
+        action="store_true",
+        help=(
+            "disable the live event stream (unit lifecycle, heartbeats, "
+            "cache hit/miss, worker up/down; the ablation arm — "
+            "classifications are identical either way)"
+        ),
+    )
+    campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render a live done/in-flight/stragglers/ETA line on stderr, "
+            "driven by the event stream (works with every backend, "
+            "including process-pool workers)"
+        ),
+    )
+    campaign.add_argument(
+        "--watchdog",
+        action="store_true",
+        help=(
+            "flag in-flight units exceeding a quantile-based deadline "
+            "derived from this run's own stage.unit.seconds distribution "
+            "(unit.straggler event + campaign.stragglers counter + warning "
+            "line; detection only — flagged units run to completion)"
+        ),
+    )
     campaign.add_argument("--json", action="store_true", help="emit JSON")
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -739,6 +1009,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--json", action="store_true", help="emit JSON")
     trace.set_defaults(func=_cmd_trace)
+
+    events = subparsers.add_parser(
+        "events",
+        help=(
+            "summarize or tail a campaign's event log (the events-*.jsonl "
+            "files written beside the spans under --trace-dir)"
+        ),
+    )
+    events.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        required=True,
+        help="the trace directory a campaign wrote with --trace-dir",
+    )
+    events.add_argument(
+        "--tail",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="print the last N event records instead of the summary",
+    )
+    events.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "stream new event records as they are written (poll loop; "
+            "bound it with --duration for scripted use)"
+        ),
+    )
+    events.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --follow: stop after this many seconds",
+    )
+    events.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="with --follow: poll interval (default: 0.5)",
+    )
+    events.add_argument("--json", action="store_true", help="emit JSON")
+    events.set_defaults(func=_cmd_events)
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help=(
+            "compare a benchmark artifact against a committed baseline "
+            "with per-metric thresholds; exit 1 on regression (the CI "
+            "perf gate)"
+        ),
+    )
+    bench_diff.add_argument(
+        "--baseline",
+        metavar="FILE",
+        required=True,
+        help="the committed baseline artifact (BENCH_*.json)",
+    )
+    bench_diff.add_argument(
+        "--current",
+        metavar="FILE",
+        default=None,
+        help="the artifact from the run under test",
+    )
+    bench_diff.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help=(
+            "a BENCH_history.jsonl file; the newest record (optionally "
+            "filtered by --benchmark) is the run under test"
+        ),
+    )
+    bench_diff.add_argument(
+        "--benchmark",
+        metavar="NAME",
+        default=None,
+        help="with --history: compare the newest record of this benchmark",
+    )
+    bench_diff.add_argument("--json", action="store_true", help="emit JSON")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
 
     return parser
 

@@ -70,8 +70,11 @@ from repro.core.report import (
     SiteClassification,
     SiteResult,
 )
+from repro.obs import events as ev
 from repro.obs.metrics import METRICS
+from repro.obs.progress import ProgressRenderer
 from repro.obs.trace import TRACER, JsonlSink, ensure_trace_dir
+from repro.obs.watchdog import StragglerWatchdog
 from repro.sched import (
     ApplicationContext,
     CampaignUnit,
@@ -160,6 +163,26 @@ class CampaignConfig:
     #: duration histograms in :data:`repro.obs.metrics.METRICS` are
     #: recorded either way.  Rendered afterwards by ``repro trace``.
     trace_dir: Optional[str] = None
+    #: Enable the live event stream (:mod:`repro.obs.events`): unit
+    #: lifecycle, heartbeats, cache hit/miss, store lock waits, worker
+    #: up/down.  ``False`` is the ablation arm (``campaign --no-events``)
+    #: the classification-parity tests hold the stream against.  With a
+    #: ``trace_dir`` the events are also persisted as
+    #: ``events-<pid>.jsonl`` beside the spans.
+    events: bool = True
+    #: Start the straggler watchdog (:mod:`repro.obs.watchdog`): flags
+    #: in-flight units exceeding a quantile-based deadline derived from
+    #: the run's own ``stage.unit.seconds`` distribution.  Off by default
+    #: because the ``campaign.stragglers`` counter is inherently
+    #: timing-dependent, and default-on would break the backend
+    #: counter-parity invariant on loaded machines.  Requires ``events``.
+    watchdog: bool = False
+    #: Render the live done/in-flight/stragglers/ETA progress line on
+    #: stderr (``campaign --progress``).  Requires ``events``.
+    progress: bool = False
+    #: Cadence of ``unit.heartbeat`` events for in-flight units, in the
+    #: campaign parent and in every process-backend worker.
+    heartbeat_seconds: float = 0.5
 
     def resolved_jobs(self) -> int:
         if self.jobs is None:
@@ -226,6 +249,12 @@ class CampaignResult:
     #: them, so counter totals are identical for any backend and worker
     #: count on schedule-independent workloads.
     metrics: Optional[dict] = None
+    #: Wire-form per-name event-count delta of the live event stream
+    #: (:data:`repro.obs.events.EVENTS`) across the run.  Includes
+    #: process-backend workers the same way ``metrics`` does — each unit
+    #: ships its event-count delta back and the parent merges.  ``None``
+    #: when the stream was disabled (``events=False``).
+    events: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def table1_rows(self) -> List[Dict[str, int]]:
@@ -279,14 +308,21 @@ class CampaignEngine:
 
         With a ``trace_dir`` the run attaches a JSONL trace sink for its
         duration (the process backend additionally configures one per
-        worker).  Observability is passive: the report is byte-identical
-        with tracing on or off.
+        worker), and — when the event stream is enabled — a JSONL event
+        sink beside it.  Observability is passive: the report is
+        byte-identical with tracing and events on or off.
         """
         sink: Optional[JsonlSink] = None
+        event_sink: Optional[ev.JsonlEventSink] = None
+        prior_events_enabled = ev.EVENTS.enabled
+        ev.EVENTS.enabled = self.config.events
         if self.config.trace_dir:
             ensure_trace_dir(self.config.trace_dir)
             sink = JsonlSink(self.config.trace_dir)
             TRACER.add_sink(sink)
+            if self.config.events:
+                event_sink = ev.JsonlEventSink(self.config.trace_dir)
+                ev.EVENTS.add_sink(event_sink)
         try:
             with TRACER.span(
                 "campaign", backend=self.config.backend
@@ -296,6 +332,10 @@ class CampaignEngine:
             if sink is not None:
                 TRACER.remove_sink(sink)
                 sink.close()
+            if event_sink is not None:
+                ev.EVENTS.remove_sink(event_sink)
+                event_sink.close()
+            ev.EVENTS.enabled = prior_events_enabled
 
     def _run(self) -> CampaignResult:
         started = time.perf_counter()
@@ -303,6 +343,10 @@ class CampaignEngine:
             raise ValueError("CampaignConfig.skip_known requires a corpus_dir")
         if self.config.corpus_dir and not self.config.triage:
             raise ValueError("CampaignConfig.corpus_dir requires triage")
+        if (self.config.progress or self.config.watchdog) and not self.config.events:
+            raise ValueError(
+                "CampaignConfig.progress/watchdog require the event stream"
+            )
         jobs = self.config.resolved_jobs()
         backend_name = self.config.resolved_backend()
         cache = SolverCache() if self.config.use_cache else None
@@ -324,6 +368,7 @@ class CampaignEngine:
 
         telemetry_mark = TELEMETRY.snapshot()
         metrics_mark = METRICS.snapshot()
+        events_mark = ev.EVENTS.snapshot()
         with simplify_memo(enabled=self.config.use_cache):
             contexts = self._build_contexts()
             skipped: Dict["Slot", SiteResult] = {}
@@ -351,8 +396,46 @@ class CampaignEngine:
                 triage=self.config.triage,
                 minimize_witnesses=self.config.minimize_witnesses,
                 trace_dir=self.config.trace_dir,
+                events=self.config.events,
+                heartbeat_seconds=self.config.heartbeat_seconds,
             )
-            site_results = get_backend(backend_name).run_units(request)
+            # Live monitors wrap only the unit-execution window.  Progress
+            # and the watchdog are event-stream *subscribers*: they attach
+            # before the queued events fire so the progress line knows the
+            # total, and detach in a finally so a failing unit cannot leak
+            # a sink into the next campaign in this process.
+            progress: Optional[ProgressRenderer] = None
+            watchdog: Optional[StragglerWatchdog] = None
+            stop_heartbeat = None
+            if self.config.events:
+                if self.config.progress:
+                    progress = ProgressRenderer()
+                    ev.EVENTS.add_sink(progress)
+                if self.config.watchdog:
+                    watchdog = StragglerWatchdog()
+                    watchdog.start()
+                for unit in units:
+                    ev.EVENTS.emit(
+                        ev.UNIT_QUEUED,
+                        application=unit.application_name,
+                        site=unit.site_name,
+                        backend=backend_name,
+                    )
+                # The parent's heartbeat covers in-process backends (serial,
+                # thread); process-backend workers heartbeat themselves.
+                stop_heartbeat = ev.start_heartbeat(
+                    max(0.05, self.config.heartbeat_seconds)
+                )
+            try:
+                site_results = get_backend(backend_name).run_units(request)
+            finally:
+                if stop_heartbeat is not None:
+                    stop_heartbeat()
+                if watchdog is not None:
+                    watchdog.stop()
+                if progress is not None:
+                    ev.EVENTS.remove_sink(progress)
+                    progress.close()
             site_results.update(skipped)
         telemetry = telemetry_delta(telemetry_mark, TELEMETRY.snapshot())
 
@@ -399,6 +482,9 @@ class CampaignEngine:
             skipped_known=len(skipped),
             solver_telemetry=telemetry,
             metrics=METRICS.delta(metrics_mark),
+            events=(
+                ev.EVENTS.delta(events_mark) if self.config.events else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -147,6 +147,30 @@ class Histogram:
     def sum_seconds(self) -> float:
         return self.sum_nanos / 1e9
 
+    def quantile_nanos(self, q: float) -> Optional[int]:
+        """An upper bound on the ``q``-quantile duration, in nanoseconds.
+
+        Resolves to the fixed upper bound of the bucket containing the
+        quantile rank — conservative (never under-reports), which is the
+        right bias for deadline computation: the watchdog must not flag a
+        unit the distribution says is still plausible.  ``None`` when the
+        histogram is empty.
+        """
+        with self._lock:
+            if self.count <= 0:
+                return None
+            rank = max(1, int(q * self.count + 0.5))
+            seen = 0
+            for index in sorted(self.buckets):
+                seen += self.buckets[index]
+                if seen >= rank:
+                    if index < len(BUCKET_BOUNDS):
+                        return BUCKET_BOUNDS[index]
+                    # Overflow bucket: no fixed bound; fall back to the sum
+                    # (an upper bound on any single observation).
+                    return self.sum_nanos
+            return BUCKET_BOUNDS[-1]
+
     def wire(self) -> dict:
         return {
             "k": "h",

@@ -1,0 +1,137 @@
+"""The live ``campaign --progress`` line, driven by the event stream.
+
+A campaign with progress enabled renders one continuously updated stderr
+line::
+
+    campaign 17/40 done · 4 in-flight · 1 straggler · 12.3s · ETA ~16s
+
+The renderer is an event-stream sink: ``unit.queued`` fixes the total,
+``unit.started``/``finished``/``failed`` move units between in-flight
+and done (worker records ingested live through the process backend's
+side queue included), and ``unit.straggler`` bumps the straggler count.
+ETA is the naive remaining × mean-completed-duration estimate — honest
+enough for a progress line, and deliberately simple because unit
+runtimes are too irregular for anything fancier to earn its keep.
+
+On a TTY the line redraws in place (``\\r``, throttled); on a plain pipe
+it prints one full line per completed unit so CI logs stay readable.
+Rendering is passive: it writes to stderr only, never touches stdout
+(where ``--json`` output lives), and a rendering error detaches the sink
+rather than failing the campaign.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.obs import events as ev
+
+__all__ = ["ProgressRenderer"]
+
+_MIN_REDRAW_SECONDS = 0.1
+
+
+class ProgressRenderer:
+    """Renders the live progress line from lifecycle events."""
+
+    ingest_remote = True
+
+    def __init__(self, out=None, is_tty: Optional[bool] = None) -> None:
+        self._out = sys.stderr if out is None else out
+        self._is_tty = (
+            bool(getattr(self._out, "isatty", lambda: False)())
+            if is_tty is None
+            else is_tty
+        )
+        self._lock = threading.Lock()
+        self._started_at = time.time()
+        self._queued = 0
+        self._inflight = 0
+        self._done = 0
+        self._failed = 0
+        self._stragglers = 0
+        self._done_seconds = 0.0
+        self._last_draw = 0.0
+        self._line_open = False
+
+    # ------------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        name = record.get("name")
+        attrs = record.get("attrs") or {}
+        redraw = False
+        with self._lock:
+            if name == ev.UNIT_QUEUED:
+                self._queued += 1
+            elif name == ev.UNIT_STARTED:
+                self._inflight += 1
+                redraw = True
+            elif name == ev.UNIT_FINISHED:
+                self._inflight = max(0, self._inflight - 1)
+                self._done += 1
+                try:
+                    self._done_seconds += float(attrs.get("seconds", 0.0))
+                except (TypeError, ValueError):
+                    pass
+                redraw = True
+            elif name == ev.UNIT_FAILED:
+                self._inflight = max(0, self._inflight - 1)
+                self._done += 1
+                self._failed += 1
+                redraw = True
+            elif name == ev.UNIT_STRAGGLER:
+                self._stragglers += 1
+                redraw = True
+        if redraw:
+            self._render(final=False, completion=name != ev.UNIT_STARTED)
+
+    # ------------------------------------------------------------------
+    def _format(self) -> str:
+        elapsed = time.time() - self._started_at
+        total = max(self._queued, self._done + self._inflight)
+        parts = [
+            f"campaign {self._done}/{total} done",
+            f"{self._inflight} in-flight",
+        ]
+        if self._failed:
+            parts.append(f"{self._failed} failed")
+        if self._stragglers:
+            noun = "straggler" if self._stragglers == 1 else "stragglers"
+            parts.append(f"{self._stragglers} {noun}")
+        parts.append(f"{elapsed:.1f}s")
+        remaining = total - self._done
+        if self._done and remaining > 0:
+            eta = remaining * (self._done_seconds / self._done)
+            parts.append(f"ETA ~{eta:.0f}s")
+        return " · ".join(parts)
+
+    def _render(self, final: bool, completion: bool = True) -> None:
+        now = time.time()
+        with self._lock:
+            if not final:
+                if self._is_tty:
+                    if now - self._last_draw < _MIN_REDRAW_SECONDS:
+                        return
+                elif not completion:
+                    # Non-TTY: one line per completion only, or the log
+                    # would fill with start notices.
+                    return
+            self._last_draw = now
+            line = self._format()
+            try:
+                if self._is_tty:
+                    self._out.write("\r\x1b[2K" + line)
+                    if final:
+                        self._out.write("\n")
+                    self._line_open = not final
+                else:
+                    self._out.write(line + "\n")
+                self._out.flush()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Print the final state and terminate an in-place line."""
+        self._render(final=True)

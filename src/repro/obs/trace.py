@@ -131,14 +131,21 @@ class JsonlSink:
 def ensure_trace_dir(trace_dir: str) -> None:
     """Create ``trace_dir`` and its versioned ``meta.json`` if absent.
 
-    Racing writers (a parent and its pool workers) all write the same
-    content, so the atomic replace is idempotent.
+    Racing writers (a parent and its pool workers) all write equivalent
+    content, so the atomic replace is idempotent.  Besides the format
+    version the meta carries best-effort attribution fields
+    (``repro_version``, ``git``) so a saved trace is traceable to the
+    code that produced it; readers key only on ``format``/``version``,
+    which is why adding these fields needs no schema bump.
     """
     os.makedirs(trace_dir, exist_ok=True)
     meta_path = os.path.join(trace_dir, TRACE_META_NAME)
     if os.path.exists(meta_path):
         return
+    from repro.obs.attribution import attribution
+
     payload = {"format": "repro-trace", "version": TRACE_SCHEMA_VERSION}
+    payload.update(attribution())
     tmp_path = f"{meta_path}.tmp-{os.getpid()}"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, separators=(",", ":"))
@@ -260,6 +267,18 @@ class Tracer:
     def remove_sink(self, sink: object) -> None:
         with self._lock:
             self._sinks = [s for s in self._sinks if s is not sink]
+
+    def clear_sinks(self) -> None:
+        """Detach every sink without closing them.
+
+        For fork-started pool workers, which inherit the parent's sink
+        list — including JSONL sinks whose already-open handles point at
+        the *parent's* files.  The worker initializer clears the
+        inherited list (the parent still owns those handles) before
+        attaching its own per-process sinks.
+        """
+        with self._lock:
+            self._sinks = []
 
     @property
     def active(self) -> bool:

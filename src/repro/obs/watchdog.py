@@ -1,0 +1,185 @@
+"""The campaign-side straggler watchdog.
+
+Unit runtimes in an overflow-discovery campaign are highly irregular —
+a cache-hit unit finishes in ~1ms while a hard CDCL unit runs for
+seconds — so a fleet scheduler cannot use a fixed timeout.  The
+:class:`StragglerWatchdog` instead builds its deadline from the run's
+*own* distribution: the ``stage.unit.seconds`` histogram already
+maintained by the tracer gives a conservative quantile bound, and any
+in-flight unit exceeding ``multiplier ×`` that bound (but never less
+than ``min_seconds``) is flagged **once** as a straggler:
+
+* a ``unit.straggler`` event on the stream (with elapsed and deadline);
+* the ``campaign.stragglers`` counter;
+* one warning line on stderr.
+
+This is the *detection* half of the ROADMAP's coordinator/worker fleet
+item — re-dispatch will consume the same events.  Detection is passive:
+the flagged unit keeps running and its result is untouched (the
+acceptance test injects a deliberately slow unit and checks both that it
+is flagged and that its classification is identical to an unwatched
+run).  Until ``min_samples`` units have completed the watchdog has no
+distribution to trust and flags nothing.
+
+The watchdog tracks in-flight units as an event-stream sink (consuming
+``unit.started`` / ``unit.finished`` / ``unit.failed``, including
+records ingested live from process-backend workers), and a daemon ticker
+thread evaluates deadlines between events.  Every collaborator —
+metrics, stream, clock, warn writer — is injectable so the deterministic
+test drives :meth:`check` directly with a fake clock and synthetic
+histogram.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs import events as ev
+from repro.obs.metrics import METRICS
+
+__all__ = ["StragglerWatchdog"]
+
+
+class StragglerWatchdog:
+    """Flags in-flight units that exceed a quantile-derived deadline."""
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        multiplier: float = 4.0,
+        min_seconds: float = 1.0,
+        min_samples: int = 5,
+        interval: float = 0.25,
+        metrics=None,
+        stream=None,
+        clock: Optional[Callable[[], float]] = None,
+        warn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.quantile = quantile
+        self.multiplier = multiplier
+        self.min_seconds = min_seconds
+        self.min_samples = min_samples
+        self.interval = interval
+        self._metrics = METRICS if metrics is None else metrics
+        self._stream = ev.EVENTS if stream is None else stream
+        self._clock = time.time if clock is None else clock
+        self._warn = warn if warn is not None else (
+            lambda line: print(line, file=sys.stderr)
+        )
+        self._lock = threading.Lock()
+        #: (pid, application, site) → start wall time, from event records.
+        self._inflight: Dict[Tuple[int, str, str], float] = {}
+        self._flagged: set = set()
+        self._stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Event-sink half: track in-flight units (local and worker records).
+    # ------------------------------------------------------------------
+    ingest_remote = True
+
+    @staticmethod
+    def _key(record: dict) -> Optional[Tuple[int, str, str]]:
+        attrs = record.get("attrs") or {}
+        application = attrs.get("application")
+        site = attrs.get("site")
+        if not isinstance(application, str) or not isinstance(site, str):
+            return None
+        return (int(record.get("pid", 0)), application, site)
+
+    def emit(self, record: dict) -> None:
+        name = record.get("name")
+        if name not in (ev.UNIT_STARTED, ev.UNIT_FINISHED, ev.UNIT_FAILED):
+            return
+        key = self._key(record)
+        if key is None:
+            return
+        with self._lock:
+            if name == ev.UNIT_STARTED:
+                # Record wall time, not local clock: worker records arrive
+                # with the worker's wall stamp and both clocks are epoch.
+                self._inflight[key] = float(record.get("wall", 0.0))
+            else:
+                self._inflight.pop(key, None)
+                self._flagged.discard(key)
+
+    # ------------------------------------------------------------------
+    def deadline_seconds(self) -> Optional[float]:
+        """The current straggler deadline, or ``None`` without data.
+
+        ``multiplier × quantile(stage.unit.seconds)`` with a
+        ``min_seconds`` floor; ``None`` until ``min_samples`` completed
+        units exist (no distribution, no judgement).
+        """
+        histogram = self._metrics.histogram("stage.unit.seconds")
+        if histogram.count < self.min_samples:
+            return None
+        bound = histogram.quantile_nanos(self.quantile)
+        if bound is None:
+            return None
+        return max(self.min_seconds, self.multiplier * bound / 1e9)
+
+    def check(self, now: Optional[float] = None) -> int:
+        """One evaluation pass; returns how many new stragglers were flagged."""
+        deadline = self.deadline_seconds()
+        if deadline is None:
+            return 0
+        now = self._clock() if now is None else now
+        with self._lock:
+            overdue = [
+                (key, now - started)
+                for key, started in self._inflight.items()
+                if key not in self._flagged and now - started > deadline
+            ]
+            self._flagged.update(key for key, _ in overdue)
+        for (pid, application, site), elapsed in overdue:
+            self._metrics.counter("campaign.stragglers").inc()
+            self._stream.emit(
+                ev.UNIT_STRAGGLER,
+                application=application,
+                site=site,
+                pid=pid,
+                elapsed=round(elapsed, 6),
+                deadline=round(deadline, 6),
+            )
+            self._warn(
+                f"repro: straggler {application}::{site} "
+                f"({elapsed:.1f}s in flight, deadline {deadline:.1f}s)"
+            )
+        return len(overdue)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Attach to the stream and start the ticker thread."""
+        self._stream.add_sink(self)
+        self._stop = threading.Event()
+
+        def tick() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.check()
+                except Exception:
+                    # Passive contract: the watchdog must never take a
+                    # campaign down with it.
+                    return
+
+        self._thread = threading.Thread(
+            target=tick, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Detach and stop; runs one final check for units still overdue."""
+        self._stream.remove_sink(self)
+        if self._stop is not None:
+            self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(1.0, 4 * self.interval))
+            self._thread = None
+        try:
+            self.check()
+        except Exception:
+            pass

@@ -92,28 +92,41 @@ class UnitRunRequest:
     #: backend ships this path to workers so each attaches its own
     #: ``spans-<pid>.jsonl`` sink.
     trace_dir: Optional[str] = None
+    #: Whether the live event stream is enabled for this run (``campaign
+    #: --no-events`` is the ablation).  In-process backends inherit the
+    #: parent's already-toggled stream; the process backend ships the flag
+    #: to workers.
+    events: bool = True
+    #: Heartbeat cadence for in-flight units (the process backend starts a
+    #: heartbeat thread per worker; the campaign engine starts the parent's).
+    heartbeat_seconds: float = 0.5
 
     def run_unit(self, unit: CampaignUnit, backend: str = "") -> "SiteResult":
         """Execute one unit in-process against the shared contexts."""
         from repro.core.engine import analyze_site
+        from repro.obs.events import unit_lifecycle
         from repro.obs.metrics import METRICS
         from repro.obs.trace import TRACER
 
         context = self.contexts[unit.app_index]
-        with TRACER.span(
-            "unit",
-            application=unit.application_name,
-            site=unit.site_name,
-            backend=backend,
-        ):
-            result = analyze_site(
-                context.application,
-                context.sites[unit.site_index],
-                self.diode,
-                solver_cache=self.cache,
-                detector=context.detector,
-                field_mapper=context.mapper,
-            )
+        with unit_lifecycle(
+            unit.application_name, unit.site_name, backend
+        ) as finish_attrs:
+            with TRACER.span(
+                "unit",
+                application=unit.application_name,
+                site=unit.site_name,
+                backend=backend,
+            ):
+                result = analyze_site(
+                    context.application,
+                    context.sites[unit.site_index],
+                    self.diode,
+                    solver_cache=self.cache,
+                    detector=context.detector,
+                    field_mapper=context.mapper,
+                )
+            finish_attrs["classification"] = result.classification.value
         METRICS.counter("campaign.units_completed").inc()
         return result
 

@@ -98,7 +98,11 @@ class _WorkerState:
         triage: bool = False,
         minimize_witnesses: bool = True,
         trace_dir: Optional[str] = None,
+        events: bool = True,
+        heartbeat_seconds: float = 0.5,
+        event_queue=None,
     ) -> None:
+        from repro.obs import events as ev
         from repro.obs.metrics import METRICS
         from repro.smt.cache import SimplifyMemo, SolverCache
 
@@ -112,12 +116,35 @@ class _WorkerState:
         #: Registry wire mark for per-unit metric deltas (the worker-side
         #: half of the campaign's metric aggregation).
         self.metrics_mark: dict = METRICS.snapshot()
-        if trace_dir:
-            from repro.obs.trace import TRACER, JsonlSink
+        # A fork-started worker inherits the parent's sink lists, whose
+        # already-open JSONL handles point at the *parent's* files —
+        # emitting through them would write every worker record into the
+        # parent's file as well as the worker's own.  Drop the inherited
+        # sinks (the parent still owns the handles) before attaching the
+        # worker's per-process ones.
+        from repro.obs.trace import TRACER, JsonlSink
 
+        TRACER.clear_sinks()
+        ev.EVENTS.clear_sinks()
+        if trace_dir:
             # Each worker appends to its own spans-<pid>.jsonl; the sink
             # lives for the worker's lifetime and dies with the pool.
             TRACER.add_sink(JsonlSink(trace_dir))
+        # The event stream mirrors the parent's configuration: the worker
+        # persists its own events-<pid>.jsonl and forwards the low-rate
+        # streaming subset live over the side queue.  The count mark is
+        # taken *before* worker.up so the first unit's delta carries it.
+        ev.EVENTS.enabled = bool(events)
+        if events:
+            if trace_dir:
+                ev.EVENTS.add_sink(ev.JsonlEventSink(trace_dir))
+            if event_queue is not None:
+                ev.EVENTS.add_sink(ev.QueueSink(event_queue))
+        self.events_mark: dict = ev.EVENTS.snapshot()
+        if events:
+            ev.EVENTS.emit(ev.WORKER_UP)
+            # Daemon thread, dies with the worker; nothing to stop.
+            ev.start_heartbeat(max(0.05, float(heartbeat_seconds)))
         #: ``(kind, key)`` pairs already shipped to the parent — all four
         #: artifact kinds (whole-query, component, UNSAT core, CNF
         #: skeleton) travel through the same delta stream.
@@ -173,6 +200,9 @@ def _worker_init(
     triage: bool = False,
     minimize_witnesses: bool = True,
     trace_dir: Optional[str] = None,
+    events: bool = True,
+    heartbeat_seconds: float = 0.5,
+    event_queue=None,
 ) -> None:
     global _STATE
     _STATE = _WorkerState(
@@ -183,14 +213,20 @@ def _worker_init(
         triage,
         minimize_witnesses,
         trace_dir,
+        events,
+        heartbeat_seconds,
+        event_queue,
     )
 
 
 def _worker_run(
     unit: CampaignUnit,
-) -> Tuple[SiteResultPayload, List[dict], Tuple[int, ...], Optional[dict], dict]:
-    """Analyze one unit in the worker; return payload + cache/witness/metric deltas."""
+) -> Tuple[
+    SiteResultPayload, List[dict], Tuple[int, ...], Optional[dict], dict, dict
+]:
+    """Analyze one unit in the worker; return payload + cache/witness/metric/event deltas."""
     from repro.core.engine import analyze_site
+    from repro.obs.events import EVENTS, diff_event_wires, unit_lifecycle
     from repro.obs.metrics import METRICS, diff_snapshots
     from repro.obs.trace import TRACER
 
@@ -198,20 +234,24 @@ def _worker_run(
     if state is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("process backend worker used before initialization")
     context = state.context_for(unit.app_index)
-    with TRACER.span(
-        "unit",
-        application=unit.application_name,
-        site=unit.site_name,
-        backend="process",
-    ):
-        result = analyze_site(
-            context.application,
-            context.sites[unit.site_index],
-            state.diode,
-            solver_cache=state.cache,
-            detector=context.detector,
-            field_mapper=context.mapper,
-        )
+    with unit_lifecycle(
+        unit.application_name, unit.site_name, "process"
+    ) as finish_attrs:
+        with TRACER.span(
+            "unit",
+            application=unit.application_name,
+            site=unit.site_name,
+            backend="process",
+        ):
+            result = analyze_site(
+                context.application,
+                context.sites[unit.site_index],
+                state.diode,
+                solver_cache=state.cache,
+                detector=context.detector,
+                field_mapper=context.mapper,
+            )
+        finish_attrs["classification"] = result.classification.value
     METRICS.counter("campaign.units_completed").inc()
 
     delta: List[dict] = []
@@ -234,16 +274,23 @@ def _worker_run(
         )
         witness_wire = None if record is None else record.to_wire()
 
-    # Last, so the delta also covers triage/cache work done above.
+    # Last, so the deltas also cover triage/cache work done above.  The
+    # event delta carries exact counts for everything this worker emitted
+    # since the previous unit — including the high-rate cache.* events the
+    # live queue deliberately does not forward.
     snapshot = METRICS.snapshot()
     metrics_wire = diff_snapshots(state.metrics_mark, snapshot)
     state.metrics_mark = snapshot
+    events_snapshot = EVENTS.snapshot()
+    events_wire = diff_event_wires(state.events_mark, events_snapshot)
+    state.events_mark = events_snapshot
     return (
         SiteResultPayload.from_site_result(result),
         delta,
         stats_delta,
         witness_wire,
         metrics_wire,
+        events_wire,
     )
 
 
@@ -253,36 +300,102 @@ class ProcessBackend(Backend):
     name = "process"
 
     def run_units(self, request: UnitRunRequest) -> Dict[Slot, object]:
+        import threading
+
+        from repro.obs import events as ev
+
         seed_entries: List[dict] = []
         if request.cache is not None:
             from repro.smt.cachestore import export_wire_entries
 
             seed_entries, _ = export_wire_entries(request.cache)
 
-        with ProcessPoolExecutor(
-            max_workers=request.worker_count(),
-            initializer=_worker_init,
-            initargs=(
-                list(request.application_names),
-                request.diode,
-                request.cache is not None,
-                seed_entries,
-                request.triage,
-                request.minimize_witnesses,
-                request.trace_dir,
-            ),
-        ) as executor:
-            futures = [
-                executor.submit(_worker_run, unit) for unit in request.units
-            ]
-            payloads = drain_futures(request.units, futures)
+        # The live side channel: workers forward streaming-class event
+        # records (lifecycle, heartbeat, worker up/down) onto a managed
+        # queue *while units run*, and the drainer thread ingests them into
+        # the parent stream so progress rendering and straggler detection
+        # see worker units mid-flight.  A Manager proxy queue is used
+        # because a plain multiprocessing.Queue cannot ride through
+        # ProcessPoolExecutor initargs.  Counts are NOT taken from the
+        # queue (ingest never counts); they arrive exactly via the per-unit
+        # event wire deltas merged below.
+        manager = None
+        event_queue = None
+        drainer = None
+        worker_pids: set = set()
+        if request.events:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            event_queue = manager.Queue()
+
+            def drain() -> None:
+                while True:
+                    try:
+                        record = event_queue.get()
+                    except (EOFError, OSError):  # pragma: no cover - teardown
+                        return
+                    if record is None:
+                        return
+                    if isinstance(record, dict):
+                        pid = record.get("pid")
+                        if isinstance(pid, int):
+                            worker_pids.add(pid)
+                        ev.EVENTS.ingest(record)
+
+            drainer = threading.Thread(
+                target=drain, name="repro-event-drain", daemon=True
+            )
+            drainer.start()
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=request.worker_count(),
+                initializer=_worker_init,
+                initargs=(
+                    list(request.application_names),
+                    request.diode,
+                    request.cache is not None,
+                    seed_entries,
+                    request.triage,
+                    request.minimize_witnesses,
+                    request.trace_dir,
+                    request.events,
+                    request.heartbeat_seconds,
+                    event_queue,
+                ),
+            ) as executor:
+                futures = [
+                    executor.submit(_worker_run, unit) for unit in request.units
+                ]
+                payloads = drain_futures(request.units, futures)
+        finally:
+            if event_queue is not None:
+                # Unblock and retire the drainer even when a unit failed,
+                # then mark every worker that announced itself as down (the
+                # pool is closed here, so the processes are gone; workers
+                # have no shutdown hook of their own).
+                try:
+                    event_queue.put(None)
+                except Exception:  # pragma: no cover - manager already dead
+                    pass
+                drainer.join(timeout=10)
+                for pid in sorted(worker_pids):
+                    ev.EVENTS.emit(ev.WORKER_DOWN, worker_pid=pid)
+            if manager is not None:
+                manager.shutdown()
 
         from repro.obs.metrics import METRICS
 
         results: Dict[Slot, object] = {}
-        for unit, (payload, delta, stats_delta, witness_wire, metrics_wire) in zip(
-            request.units, payloads
-        ):
+        for unit, (
+            payload,
+            delta,
+            stats_delta,
+            witness_wire,
+            metrics_wire,
+            events_wire,
+        ) in zip(request.units, payloads):
             slot = (unit.app_index, unit.site_index)
             site = request.contexts[unit.app_index].sites[unit.site_index]
             results[slot] = payload.to_site_result(site)
@@ -295,6 +408,8 @@ class ProcessBackend(Backend):
             if request.triage and payload.bug_report is not None:
                 request.witness_results[slot] = witness_wire
             # Merge order cannot matter: counters/histogram buckets are
-            # integers and add, gauges take max (see repro.obs.metrics).
+            # integers and add, gauges take max (see repro.obs.metrics);
+            # event counts are integers and add (see repro.obs.events).
             METRICS.merge(metrics_wire)
+            ev.EVENTS.merge(events_wire)
         return results

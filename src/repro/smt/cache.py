@@ -256,13 +256,19 @@ class SolverCache:
 
     def lookup(self, system: CanonicalSystem) -> Optional[CachedVerdict]:
         """Return the stored verdict for ``system``, counting hit/miss."""
+        from repro.obs.events import CACHE_HIT, CACHE_MISS, EVENTS
+
         with self._lock:
             entry = self._entries.get(system.key)
             if entry is None:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
-            return entry
+        # Whole-query granularity only: component lookups run orders of
+        # magnitude hotter and stay out of the event stream by design
+        # (their totals live in the stats tuple / metrics registry).
+        EVENTS.emit(CACHE_HIT if entry is not None else CACHE_MISS)
+        return entry
 
     def store(self, system: CanonicalSystem, verdict: CachedVerdict) -> None:
         """Store the canonical verdict for ``system`` (idempotent).

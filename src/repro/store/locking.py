@@ -92,9 +92,13 @@ class DirectoryLock:
             else:
                 os.write(fd, str(os.getpid()).encode("ascii"))
                 self._fd = fd
+                waited = time.perf_counter() - waited_from
                 METRICS.counter("store.lock_acquires").inc()
-                METRICS.histogram("store.lock_wait_seconds").observe(
-                    time.perf_counter() - waited_from
+                METRICS.histogram("store.lock_wait_seconds").observe(waited)
+                from repro.obs.events import EVENTS, STORE_LOCK_WAIT
+
+                EVENTS.emit(
+                    STORE_LOCK_WAIT, seconds=round(waited, 6), path=self.path
                 )
                 return
             try:

@@ -379,3 +379,219 @@ class TestVersionFlag:
             main(["--version"])
         assert info.value.code == 0
         assert __version__ in capsys.readouterr().out
+
+
+class TestEventFlags:
+    def test_no_events_with_progress_is_rejected(self, capsys):
+        assert (
+            main(["campaign", "--apps", "dillo", "--no-events", "--progress"])
+            == 2
+        )
+        assert "--no-events" in capsys.readouterr().err
+
+    def test_no_events_with_watchdog_is_rejected(self, capsys):
+        assert (
+            main(["campaign", "--apps", "dillo", "--no-events", "--watchdog"])
+            == 2
+        )
+        assert "--no-events" in capsys.readouterr().err
+
+    def test_campaign_text_reports_event_stream(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--apps", "dillo"]) == 0
+        assert "event stream:" in capsys.readouterr().out
+
+    def test_campaign_json_carries_event_counts(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--apps", "dillo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        events = payload["events"]["events"]
+        assert events["unit.queued"] == payload["unit_count"]
+        assert events["unit.finished"] == payload["unit_count"]
+        assert events.get("unit.failed", 0) == 0
+
+    def test_no_events_json_reports_null_block(self, capsys):
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--no-events",
+                 "--json"]
+            )
+            == 0
+        )
+        assert json.loads(capsys.readouterr().out)["events"] is None
+
+    def test_campaign_progress_renders_on_stderr(self, capsys):
+        assert main(["campaign", "--jobs", "1", "--apps", "dillo", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "done" in err and "in-flight" in err
+
+
+class TestTraceCommandErrors:
+    def test_missing_trace_dir_is_a_one_line_error(self, capsys):
+        assert main(["trace", "--trace-dir", "/nonexistent/trace"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() and "Traceback" not in err
+
+    def test_empty_trace_dir_is_a_one_line_error(self, capsys, tmp_path):
+        from repro.obs.trace import ensure_trace_dir
+
+        trace_dir = str(tmp_path / "trace")
+        ensure_trace_dir(trace_dir)  # meta.json only, no records
+        assert main(["trace", "--trace-dir", trace_dir]) == 2
+        assert "no trace records" in capsys.readouterr().err
+
+    def test_mismatched_meta_version_is_a_one_line_error(self, capsys, tmp_path):
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
+        (trace_dir / "meta.json").write_text(
+            json.dumps({"format": "repro-trace", "version": 999})
+        )
+        assert main(["trace", "--trace-dir", str(trace_dir)]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() and "Traceback" not in err
+
+
+class TestEventsCommand:
+    def _traced_campaign(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "trace")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--trace-dir",
+                 trace_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return trace_dir
+
+    def test_summary_table(self, capsys, tmp_path):
+        trace_dir = self._traced_campaign(tmp_path, capsys)
+        assert main(["events", "--trace-dir", trace_dir]) == 0
+        out = capsys.readouterr().out
+        assert "unit.finished" in out
+        assert "unit(s) finished" in out
+
+    def test_tail_prints_formatted_lines(self, capsys, tmp_path):
+        trace_dir = self._traced_campaign(tmp_path, capsys)
+        assert main(["events", "--trace-dir", trace_dir, "--tail", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all("[" in line for line in lines)  # pid column
+
+    def test_json_counts_close_over_lifecycle(self, capsys, tmp_path):
+        trace_dir = self._traced_campaign(tmp_path, capsys)
+        assert main(["events", "--trace-dir", trace_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["invalid_records"] == 0
+        counts = payload["counts"]
+        assert counts["unit.started"] == counts["unit.finished"]
+
+    def test_follow_mode_drains_and_exits_on_duration(self, capsys, tmp_path):
+        trace_dir = self._traced_campaign(tmp_path, capsys)
+        assert (
+            main(
+                ["events", "--trace-dir", trace_dir, "--follow",
+                 "--duration", "0.2", "--poll", "0.05"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "unit.started" in out
+
+    def test_missing_dir_is_a_one_line_error(self, capsys):
+        assert main(["events", "--trace-dir", "/nonexistent/trace"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() and "Traceback" not in err
+
+    def test_no_events_campaign_leaves_nothing_to_report(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        assert (
+            main(
+                ["campaign", "--jobs", "1", "--apps", "dillo", "--no-events",
+                 "--trace-dir", trace_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["events", "--trace-dir", trace_dir]) == 2
+        assert "no event records" in capsys.readouterr().err
+
+
+class TestBenchDiffCommand:
+    _BASE = {"benchmark": "observability", "version": "1.7.0",
+             "overhead": 1.05, "weighted_stage_coverage": 0.95,
+             "worst_unit_coverage": 1.0, "invalid_records": 0,
+             "invalid_event_records": 0}
+
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identical_runs_pass(self, capsys, tmp_path):
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        current = self._write(tmp_path, "cur.json", self._BASE)
+        assert main(["bench-diff", "--baseline", baseline, "--current", current]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one_with_fail_lines(self, capsys, tmp_path):
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        current = self._write(
+            tmp_path, "cur.json",
+            dict(self._BASE, overhead=1.9, invalid_event_records=3),
+        )
+        assert main(["bench-diff", "--baseline", baseline, "--current", current]) == 1
+        out = capsys.readouterr().out
+        assert out.count("FAIL:") == 2
+        assert "REGRESSION" in out
+
+    def test_newest_history_record_wins(self, capsys, tmp_path):
+        from repro.obs.benchhist import append_history
+
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        append_history(dict(self._BASE, overhead=9.9), "a.json", str(tmp_path))
+        append_history(dict(self._BASE), "a.json", str(tmp_path))
+        assert (
+            main(
+                ["bench-diff", "--baseline", baseline, "--history",
+                 str(tmp_path / "BENCH_history.jsonl"), "--benchmark",
+                 "observability"]
+            )
+            == 0
+        )
+
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        assert main(["bench-diff", "--baseline", baseline]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_benchmark_mismatch_is_rejected(self, capsys, tmp_path):
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        current = self._write(
+            tmp_path, "cur.json", {"benchmark": "campaign", "speedup": 2.0}
+        )
+        assert main(["bench-diff", "--baseline", baseline, "--current", current]) == 2
+        assert "mismatch" in capsys.readouterr().err
+
+    def test_unreadable_baseline_is_rejected(self, capsys, tmp_path):
+        current = self._write(tmp_path, "cur.json", self._BASE)
+        assert (
+            main(
+                ["bench-diff", "--baseline", str(tmp_path / "nope.json"),
+                 "--current", current]
+            )
+            == 2
+        )
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_verdict(self, capsys, tmp_path):
+        baseline = self._write(tmp_path, "base.json", self._BASE)
+        current = self._write(tmp_path, "cur.json", dict(self._BASE, overhead=1.9))
+        assert (
+            main(
+                ["bench-diff", "--baseline", baseline, "--current", current,
+                 "--json"]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["metric"] == "overhead"

@@ -137,12 +137,19 @@ class TestJsonlSink:
         sink.close()
         assert not os.path.exists(sink.path())
 
-    def test_meta_is_versioned(self, tmp_path):
+    def test_meta_is_versioned_and_attributed(self, tmp_path):
         trace_dir = str(tmp_path / "trace")
         ensure_trace_dir(trace_dir)
         with open(os.path.join(trace_dir, "meta.json")) as handle:
             meta = json.load(handle)
-        assert meta == {"format": "repro-trace", "version": TRACE_SCHEMA_VERSION}
+        # Readers key on format/version only; the attribution fields are
+        # additive (hence no schema bump) and may be None off-checkout.
+        assert meta["format"] == "repro-trace"
+        assert meta["version"] == TRACE_SCHEMA_VERSION
+        assert "repro_version" in meta and "git" in meta
+        import repro
+
+        assert meta["repro_version"] == repro.__version__
 
 
 class TestValidateRecord:
